@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 2 (inter-core locality of GPU L1 misses)."""
+
+from conftest import record
+
+from repro.experiments import fig02_locality
+
+
+def test_fig02_locality(run_once):
+    result = run_once(lambda: fig02_locality.run())
+    record(result)
+    # paper: >57% of L1 misses are available in a remote L1 on average;
+    # shape check: substantial mean locality, with HS/NN near the top
+    assert result.data["mean"] > 0.30
+    by_bench = dict(result.rows)
+    assert by_bench["HS"]["remote_l1_fraction"] > 0.5
+    assert by_bench["NN"]["remote_l1_fraction"] > 0.5
+    assert (
+        by_bench["SC"]["remote_l1_fraction"]
+        < by_bench["HS"]["remote_l1_fraction"]
+    )

@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig. 11 (received data rate per GPU core)."""
+
+from conftest import MIXES, record
+
+from repro.analysis.report import amean
+from repro.experiments import fig11_data_rate
+
+
+def test_fig11_data_rate(run_once):
+    result = run_once(lambda: fig11_data_rate.run(n_mixes=MIXES))
+    record(result)
+    # paper: DR raises effective NoC bandwidth +26.5% avg, RP +11.9%
+    assert result.data["dr_mean_gain"] > 1.10
+    dr_gain = amean(
+        [v["dr"] / v["baseline"] for _, v in result.rows if v["baseline"] > 0]
+    )
+    rp_gain = amean(
+        [v["rp"] / v["baseline"] for _, v in result.rows if v["baseline"] > 0]
+    )
+    assert dr_gain > rp_gain
+    # HS has the largest gain in the paper (+70.9%); allow close seconds
+    by_bench = dict(result.rows)
+    top3 = sorted(by_bench, key=lambda b: -by_bench[b]["dr_gain"])[:3]
+    assert "HS" in top3

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 12 (CPU network latency under DR)."""
+
+from conftest import MIXES, record
+
+from repro.experiments import fig12_cpu_latency
+
+
+def test_fig12_cpu_latency(run_once):
+    result = run_once(lambda: fig12_cpu_latency.run(n_mixes=MIXES))
+    record(result)
+    # paper: -44.2% average CPU packet latency, up to -59.7%
+    assert result.data["mean_ratio"] < 0.95
+    best = min(v["min"] for _, v in result.rows)
+    assert best < 0.75, "the best case should show a strong reduction"
+    # no CPU benchmark should see a large latency *increase* on average
+    for label, v in result.rows:
+        assert v["dr_latency_ratio"] < 1.15, label

@@ -1,0 +1,27 @@
+"""Bench: regenerate Fig. 14 (L1 miss breakdown under DR)."""
+
+from conftest import MIXES, record
+
+from repro.experiments import fig14_miss_breakdown
+
+
+def test_fig14_miss_breakdown(run_once):
+    result = run_once(lambda: fig14_miss_breakdown.run(n_mixes=MIXES))
+    record(result)
+    # paper: 54.8% of L1 misses delegated; 74.4% of delegated requests are
+    # remote hits.  Shape: a large delegated share, mostly remote hits.
+    assert result.data["mean_delegated"] > 0.15
+    assert result.data["mean_remote_hit_rate"] > 0.6
+    by_bench = dict(result.rows)
+    # fractions are a valid partition per benchmark
+    for name, v in by_bench.items():
+        assert abs(v["llc"] + v["remote_hit"] + v["remote_miss"] - 1.0) < 1e-6
+    # remote misses concentrate in 3DCON/BT/LPS (frequent remote eviction)
+    churny = by_bench["3DCON"]["remote_miss"] + by_bench["BT"]["remote_miss"] \
+        + by_bench["LPS"]["remote_miss"]
+    stable = by_bench["HS"]["remote_miss"] + by_bench["SC"]["remote_miss"] \
+        + by_bench["NN"]["remote_miss"]
+    assert churny > stable
+    # HS and 2DCON lead the remote-hit ranking (paper: >60%)
+    top = sorted(by_bench, key=lambda b: -by_bench[b]["remote_hit"])[:4]
+    assert "HS" in top and "2DCON" in top

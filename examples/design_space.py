@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Design-space exploration: performance per mm2 across NoC designs.
+
+Uses the public API the way an architect would: sweep topology and
+bandwidth, simulate GPU throughput, price each design with the area model,
+and print the cost-performance frontier — making the paper's headline
+trade-off concrete (doubling NoC bandwidth works but costs 2.5x area;
+Delegated Replies buys similar relief for 0.172 mm2).
+
+Run:  python examples/design_space.py
+"""
+
+from repro import run_simulation
+from repro.analysis.area import delegated_replies_overhead, noc_area
+from repro.config import Topology, baseline_config, delegated_replies_config
+
+BENCH, CPU = "HS", "bodytrack"
+CYCLES, WARMUP = 2_000, 1_500
+
+
+def simulate(cfg):
+    return run_simulation(cfg, BENCH, CPU, cycles=CYCLES, warmup=WARMUP)
+
+
+def main() -> None:
+    designs = []
+    for topo in (Topology.MESH, Topology.FLATTENED_BUTTERFLY):
+        for bw in (1.0, 2.0):
+            cfg = baseline_config()
+            cfg.noc.topology = topo
+            cfg.noc.bandwidth_factor = bw
+            label = f"{topo.value}-{bw:g}x"
+            designs.append((label, cfg, 0.0))
+    dr_cfg = delegated_replies_config()
+    dr_extra = delegated_replies_overhead(dr_cfg)["total"]
+    designs.append(("mesh-1x + Delegated Replies", dr_cfg, dr_extra))
+
+    baseline_ipc = None
+    print(f"{'design':30s} {'area mm2':>9s} {'GPU IPC':>8s} "
+          f"{'speedup':>8s} {'perf/mm2':>9s}")
+    for label, cfg, extra in designs:
+        area = noc_area(cfg).total + extra
+        res = simulate(cfg)
+        if baseline_ipc is None:
+            baseline_ipc = res.gpu_ipc
+        speedup = res.gpu_ipc / baseline_ipc
+        print(f"{label:30s} {area:>9.2f} {res.gpu_ipc:>8.3f} "
+              f"{speedup:>8.2f} {speedup / area:>9.3f}")
+
+    print("\nDelegated Replies dominates the frontier: near-2x-bandwidth "
+          "performance at ~baseline area.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Mechanism shoot-out: baseline vs Realistic Probing vs Delegated Replies.
+
+Reproduces the core of the paper's evaluation on a benchmark subset:
+per-benchmark GPU speedups (Fig. 10), the request-count inflation that
+sinks RP's energy efficiency (Section VII), and the area bill of each
+alternative (Sections III-B / IV).
+
+Run:  python examples/mechanism_comparison.py
+"""
+
+from repro.analysis.area import delegated_replies_overhead, noc_area
+from repro.analysis.energy import energy_report
+from repro.config import (
+    baseline_config,
+    delegated_replies_config,
+    realistic_probing_config,
+)
+from repro import run_simulation
+
+BENCHMARKS = ["HS", "2DCON", "SC", "NN"]
+CPU = "bodytrack"
+CYCLES = 2_500
+WARMUP = 1_800
+
+
+def main() -> None:
+    print(f"{'bench':6s} {'RP speedup':>10s} {'DR speedup':>10s} "
+          f"{'RP req x':>9s} {'DR deleg%':>9s}")
+    for bench in BENCHMARKS:
+        base = run_simulation(baseline_config(), bench, CPU,
+                              cycles=CYCLES, warmup=WARMUP)
+        rp = run_simulation(realistic_probing_config(), bench, CPU,
+                            cycles=CYCLES, warmup=WARMUP)
+        dr = run_simulation(delegated_replies_config(), bench, CPU,
+                            cycles=CYCLES, warmup=WARMUP)
+        print(
+            f"{bench:6s} {rp.gpu_ipc / base.gpu_ipc:>10.2f} "
+            f"{dr.gpu_ipc / base.gpu_ipc:>10.2f} "
+            f"{rp.noc_request_packets / base.noc_request_packets:>9.1f} "
+            f"{dr.delegated_fraction:>9.0%}"
+        )
+
+    print("\nHardware cost (from the DSENT/CACTI-style models):")
+    cfg = baseline_config()
+    base_area = noc_area(cfg).total
+    cfg2 = baseline_config()
+    cfg2.noc.bandwidth_factor = 2.0
+    double_area = noc_area(cfg2).total
+    dr_cost = delegated_replies_overhead(cfg)
+    print(f"  baseline NoC:           {base_area:6.2f} mm2")
+    print(f"  2x-bandwidth NoC:       {double_area:6.2f} mm2 "
+          f"({double_area / base_area:.1f}x)")
+    print(f"  Delegated Replies:      {dr_cost['total']:6.3f} mm2 "
+          f"({dr_cost['total'] / (double_area - base_area):.0%} of the "
+          f"2x NoC's extra area)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""repro: reproduction of "Delegated Replies: Alleviating Network Clogging
+in Heterogeneous Architectures" (HPCA 2022).
+
+The package builds, in pure Python, the full simulation stack the paper's
+evaluation rests on — a cycle-level wormhole NoC, GPU/CPU core models, a
+shared LLC with per-line core pointers, GDDR5 memory controllers — plus the
+paper's mechanism (Delegated Replies) and every comparator it is evaluated
+against (Realistic Probing, AVCP, adaptive routing, shared L1 schemes and
+bandwidth overprovisioning).
+
+Quickstart::
+
+    from repro import delegated_replies_config, run_simulation
+
+    cfg = delegated_replies_config()
+    result = run_simulation(cfg, gpu_benchmark="HS", cycles=20_000)
+    print(result.gpu_ipc, result.cpu_avg_latency)
+"""
+
+from repro.config import (
+    baseline_config,
+    delegated_replies_config,
+    realistic_probing_config,
+    SystemConfig,
+    Mechanism,
+    Layout,
+    Topology,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Layout",
+    "Mechanism",
+    "SystemConfig",
+    "Topology",
+    "baseline_config",
+    "delegated_replies_config",
+    "realistic_probing_config",
+    "run_simulation",
+    "__version__",
+]
+
+
+def run_simulation(*args, **kwargs):
+    """Convenience wrapper around :func:`repro.sim.simulator.run_simulation`.
+
+    Imported lazily so ``import repro`` stays cheap.
+    """
+    from repro.sim.simulator import run_simulation as _run
+
+    return _run(*args, **kwargs)

@@ -1,0 +1,13 @@
+"""Cache substrate: set-associative caches, MSHRs and the LLC slice."""
+
+from repro.cache.cache import MshrFile, SetAssociativeCache
+from repro.cache.llc import LlcRequest, LlcResult, LlcSlice, LlcStats
+
+__all__ = [
+    "LlcRequest",
+    "LlcResult",
+    "LlcSlice",
+    "LlcStats",
+    "MshrFile",
+    "SetAssociativeCache",
+]

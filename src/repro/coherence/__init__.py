@@ -1,0 +1,21 @@
+"""Coherence: GPU software coherence and the CPU-domain MESI directory."""
+
+from repro.coherence.mesi import (
+    CoherenceAction,
+    DirectoryEntry,
+    MesiDirectory,
+    MesiState,
+)
+from repro.coherence.software import (
+    CoherenceStats,
+    SoftwareCoherenceController,
+)
+
+__all__ = [
+    "CoherenceAction",
+    "CoherenceStats",
+    "DirectoryEntry",
+    "MesiDirectory",
+    "MesiState",
+    "SoftwareCoherenceController",
+]

@@ -1,0 +1,154 @@
+"""MESI directory coherence for the CPU domain (Table I).
+
+The paper models MESI among the CPU cores; Delegated Replies never
+crosses the CPU-GPU coherence boundary (Section IV).  The evaluation's
+CPU workloads are multi-programmed Parsec instances with disjoint address
+spaces, so the directory observes no sharing at steady state and adds no
+traffic beyond the LLC round trip the timing model already charges — but
+the protocol itself is implemented in full and unit-tested so the CPU
+domain is a real substrate, not a stub.
+
+The directory is a full-map directory co-located with the LLC: per block,
+the set of sharers and the owner (if modified/exclusive).  The state
+machine covers the standard MESI transactions: GetS, GetM, PutM (write
+back), plus eviction of shared lines, with invalidation and
+owner-downgrade messages returned to the caller for accounting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+class MesiState(str, enum.Enum):
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass
+class DirectoryEntry:
+    """Full-map directory state for one block."""
+
+    sharers: Set[int] = field(default_factory=set)
+    owner: Optional[int] = None  # holder in M or E
+
+    @property
+    def state(self) -> MesiState:
+        if self.owner is not None:
+            return MesiState.MODIFIED  # M or E from the directory's view
+        if self.sharers:
+            return MesiState.SHARED
+        return MesiState.INVALID
+
+
+@dataclass
+class CoherenceAction:
+    """What the directory asks the fabric to do for one request."""
+
+    #: caches that must be invalidated before the requester proceeds
+    invalidate: Tuple[int, ...] = ()
+    #: cache that must supply/downgrade its (M/E) copy
+    fetch_from: Optional[int] = None
+    #: state the requester's cache installs the line in
+    grant: MesiState = MesiState.INVALID
+
+
+@dataclass
+class DirectoryStats:
+    gets: int = 0
+    getm: int = 0
+    putm: int = 0
+    evictions: int = 0
+    invalidations_sent: int = 0
+    owner_fetches: int = 0
+
+
+class MesiDirectory:
+    """Full-map MESI directory for one coherence domain."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, DirectoryEntry] = {}
+        self.stats = DirectoryStats()
+
+    def _entry(self, block: int) -> DirectoryEntry:
+        return self._entries.setdefault(block, DirectoryEntry())
+
+    def state_of(self, block: int) -> MesiState:
+        entry = self._entries.get(block)
+        return entry.state if entry else MesiState.INVALID
+
+    def sharers_of(self, block: int) -> Set[int]:
+        entry = self._entries.get(block)
+        return set(entry.sharers) if entry else set()
+
+    def owner_of(self, block: int) -> Optional[int]:
+        entry = self._entries.get(block)
+        return entry.owner if entry else None
+
+    # -- transactions ---------------------------------------------------
+
+    def get_shared(self, core: int, block: int) -> CoherenceAction:
+        """GetS: a core wants a readable copy."""
+        self.stats.gets += 1
+        entry = self._entry(block)
+        if entry.owner is not None and entry.owner != core:
+            # owner must downgrade M/E -> S and supply the data
+            self.stats.owner_fetches += 1
+            previous = entry.owner
+            entry.sharers.update({previous, core})
+            entry.owner = None
+            return CoherenceAction(fetch_from=previous, grant=MesiState.SHARED)
+        if not entry.sharers and entry.owner is None:
+            # first reader: grant Exclusive (the E optimisation)
+            entry.owner = core
+            return CoherenceAction(grant=MesiState.EXCLUSIVE)
+        entry.sharers.add(core)
+        return CoherenceAction(grant=MesiState.SHARED)
+
+    def get_modified(self, core: int, block: int) -> CoherenceAction:
+        """GetM: a core wants a writable copy."""
+        self.stats.getm += 1
+        entry = self._entry(block)
+        invalidate: List[int] = []
+        fetch: Optional[int] = None
+        if entry.owner is not None and entry.owner != core:
+            fetch = entry.owner
+            self.stats.owner_fetches += 1
+        invalidate.extend(s for s in entry.sharers if s != core)
+        self.stats.invalidations_sent += len(invalidate)
+        entry.sharers.clear()
+        entry.owner = core
+        return CoherenceAction(
+            invalidate=tuple(invalidate),
+            fetch_from=fetch,
+            grant=MesiState.MODIFIED,
+        )
+
+    def put_modified(self, core: int, block: int) -> None:
+        """PutM: the owner writes the dirty line back."""
+        self.stats.putm += 1
+        entry = self._entries.get(block)
+        if entry is None or entry.owner != core:
+            raise ValueError(f"core {core} does not own block {block:#x}")
+        entry.owner = None
+        if not entry.sharers:
+            del self._entries[block]
+
+    def evict_shared(self, core: int, block: int) -> None:
+        """A core silently drops a Shared (or downgraded) copy."""
+        self.stats.evictions += 1
+        entry = self._entries.get(block)
+        if entry is None:
+            return
+        entry.sharers.discard(core)
+        if entry.owner == core:
+            entry.owner = None
+        if not entry.sharers and entry.owner is None:
+            del self._entries[block]
+
+    def tracked_blocks(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,18 @@
+"""The paper's mechanism (Delegated Replies) and its strongest prior (RP)."""
+
+from repro.core.delegated_replies import (
+    DelegatedRepliesMechanism,
+    DelegationStats,
+    ReplyMeta,
+    is_delegatable,
+)
+from repro.core.realistic_probing import ProbeEngine, ProbeStats
+
+__all__ = [
+    "DelegatedRepliesMechanism",
+    "DelegationStats",
+    "ProbeEngine",
+    "ProbeStats",
+    "ReplyMeta",
+    "is_delegatable",
+]

@@ -1,0 +1,114 @@
+"""Realistic Probing (RP) [31] — the strongest prior approach (Section III-A).
+
+On a predicted-shared L1 miss, RP probes the private L1 caches of other
+GPU cores for the missing block *before* (instead of) going to the LLC.
+This exploits the same inter-core locality as Delegated Replies but has to
+*search* for the sharer: probing too many caches wastes request bandwidth
+and energy, probing too few rarely finds the data.  The paper reports RP
+inflates the total NoC request count by 5.9x and is outperformed by
+Delegated Replies by 14.2% on average.
+
+The implementation probes ``probe_width`` index-adjacent GPU cores in
+parallel; the first data reply wins, and if every probe NACKs the
+requester falls back to a normal LLC request.  The sharing predictor is
+modelled with configurable true/false-positive rates on the shared vs.
+private address regions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.config.system import ProbingConfig
+
+#: address-region boundary shared with the trace generators: blocks at or
+#: above this id belong to per-core private (or CPU) regions.
+_SHARED_REGION_LO = 1 << 32
+_SHARED_REGION_HI = 2 << 32
+
+
+@dataclass
+class ProbeStats:
+    probes_sent: int = 0
+    probe_hits: int = 0
+    probe_nacks: int = 0
+    fallbacks: int = 0
+    predicted: int = 0
+    not_predicted: int = 0
+
+
+class ProbeEngine:
+    """Per-GPU-core RP state machine."""
+
+    #: predictor hit probability for genuinely shared blocks
+    TRUE_POSITIVE = 0.90
+    #: predictor false-positive probability for private blocks
+    FALSE_POSITIVE = 0.15
+
+    def __init__(
+        self,
+        cfg: ProbingConfig,
+        core_node: int,
+        gpu_nodes: Sequence[int],
+        seed: int = 42,
+    ) -> None:
+        self.cfg = cfg
+        self.core_node = core_node
+        self.gpu_nodes = list(gpu_nodes)
+        self.rng = random.Random((seed * 2_654_435_761) ^ core_node)
+        #: block -> outstanding probe NACKs still expected
+        self._pending: Dict[int, int] = {}
+        self.stats = ProbeStats()
+
+    def should_probe(self, block: int) -> bool:
+        """Sharing predictor: decide whether this miss is worth probing."""
+        shared = _SHARED_REGION_LO <= block < _SHARED_REGION_HI
+        p = self.TRUE_POSITIVE if shared else self.FALSE_POSITIVE
+        p *= self.cfg.predictor_threshold / 0.5  # scale by config knob
+        if self.rng.random() < min(p, 1.0):
+            self.stats.predicted += 1
+            return True
+        self.stats.not_predicted += 1
+        return False
+
+    def targets_for(self, block: int) -> List[int]:
+        """The cores to probe: index-adjacent neighbours (ring order)."""
+        idx = self.gpu_nodes.index(self.core_node)
+        n = len(self.gpu_nodes)
+        width = min(self.cfg.probe_width, n - 1)
+        out = []
+        step = 1
+        while len(out) < width:
+            for sign in (1, -1):
+                if len(out) >= width:
+                    break
+                out.append(self.gpu_nodes[(idx + sign * step) % n])
+            step += 1
+        return out
+
+    def begin(self, block: int, n_targets: int) -> None:
+        self._pending[block] = n_targets
+        self.stats.probes_sent += n_targets
+
+    def is_probing(self, block: int) -> bool:
+        return block in self._pending
+
+    def on_data(self, block: int) -> None:
+        """A probe found the data; remaining NACKs will be ignored."""
+        if block in self._pending:
+            self._pending.pop(block)
+            self.stats.probe_hits += 1
+
+    def on_nack(self, block: int) -> bool:
+        """Register a probe NACK; True when all probes missed (fall back)."""
+        if block not in self._pending:
+            return False  # data already arrived; stale NACK
+        self.stats.probe_nacks += 1
+        self._pending[block] -= 1
+        if self._pending[block] <= 0:
+            self._pending.pop(block)
+            self.stats.fallbacks += 1
+            return True
+        return False

@@ -1,0 +1,136 @@
+"""Netrace-style CPU trace files.
+
+Netrace [26] replays dependency-annotated network traces: each record is a
+memory request plus the records it depends on, so replay speed reacts to
+reply latency exactly like a real core would.  This module provides that
+substrate: a compact JSON-lines trace format, a writer that captures a
+synthetic generator into a file, and a replayer that drives a CPU node
+from a trace instead of the generator.
+
+Record format (one JSON object per line)::
+
+    {"id": 17, "block": 123456, "gap": 12, "dep": 16}
+
+* ``id``    — monotonically increasing record id,
+* ``block`` — 64 B block address of the read,
+* ``gap``   — instructions executed after the previous record issues,
+* ``dep``   — id of the record this one must wait for (absent if none;
+  a record can only depend on an earlier one).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+from repro.workloads.cpu import CpuBenchmarkProfile, CpuTraceGenerator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One dependency-annotated memory request."""
+
+    rid: int
+    block: int
+    gap: int
+    dep: Optional[int] = None
+
+    def to_json(self) -> str:
+        obj = {"id": self.rid, "block": self.block, "gap": self.gap}
+        if self.dep is not None:
+            obj["dep"] = self.dep
+        return json.dumps(obj, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceRecord":
+        obj = json.loads(line)
+        rec = cls(
+            rid=obj["id"], block=obj["block"], gap=obj["gap"],
+            dep=obj.get("dep"),
+        )
+        if rec.dep is not None and rec.dep >= rec.rid:
+            raise ValueError(
+                f"record {rec.rid} depends on a later record {rec.dep}"
+            )
+        return rec
+
+
+def capture_trace(
+    profile: CpuBenchmarkProfile,
+    core_index: int,
+    n_records: int,
+    seed: int = 42,
+) -> List[TraceRecord]:
+    """Capture a synthetic generator into a dependency-annotated trace.
+
+    Dependencies follow the profile's ``dep_fraction``: a dependent record
+    waits on the immediately preceding one, like a pointer chase.
+    """
+    gen = CpuTraceGenerator(profile, core_index, seed=seed)
+    records: List[TraceRecord] = []
+    for rid in range(n_records):
+        block, _ = gen.next_access()
+        dep = rid - 1 if rid > 0 and gen.is_dependent() else None
+        records.append(
+            TraceRecord(rid=rid, block=block, gap=profile.mem_interval, dep=dep)
+        )
+    return records
+
+
+def write_trace(records: List[TraceRecord], path: Union[str, Path]) -> None:
+    with open(path, "w") as fh:
+        for rec in records:
+            fh.write(rec.to_json() + "\n")
+
+
+def read_trace(path: Union[str, Path]) -> List[TraceRecord]:
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(TraceRecord.from_json(line))
+    return records
+
+
+def iter_trace(path: Union[str, Path]) -> Iterator[TraceRecord]:
+    """Stream a trace without loading it whole (Netrace traces are huge)."""
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield TraceRecord.from_json(line)
+
+
+class TraceReplayer:
+    """Drives a CPU node from a trace, honouring dependencies.
+
+    Drop-in replacement for :class:`CpuTraceGenerator` in
+    :class:`repro.cpu.core.CpuCore`: ``next_access`` yields the next
+    record's block and ``is_dependent`` reports whether that record
+    depends on an outstanding one.  The trace loops when exhausted (the
+    paper replays windows of much longer traces).
+    """
+
+    def __init__(self, records: List[TraceRecord], profile: CpuBenchmarkProfile):
+        if not records:
+            raise ValueError("empty trace")
+        self.records = records
+        self.profile = profile
+        self._pos = 0
+        self._last_dep: Optional[int] = None
+        self.replays = 0
+
+    def next_access(self):
+        rec = self.records[self._pos]
+        self._last_dep = rec.dep
+        self._pos += 1
+        if self._pos >= len(self.records):
+            self._pos = 0
+            self.replays += 1
+        return rec.block, False
+
+    def is_dependent(self) -> bool:
+        return self._last_dep is not None

@@ -1,0 +1,79 @@
+"""Per-figure experiment modules regenerating the paper's evaluation.
+
+Each module exposes ``run(...) -> ExperimentResult``; ``run_all`` executes
+every experiment in figure order and returns the concatenated report.
+"""
+
+from typing import Dict, List, Optional
+
+from repro.experiments.common import (
+    DEFAULT_CYCLES,
+    DEFAULT_WARMUP,
+    ExperimentResult,
+    clear_sweep_cache,
+    default_benchmarks,
+    mechanism_config,
+    mechanism_sweep,
+)
+from repro.experiments import (
+    ablations,
+    area_energy,
+    fig02_locality,
+    fig05_topology,
+    fig06_avcp,
+    fig07_adaptive,
+    fig09_layout,
+    fig10_gpu_perf,
+    fig11_data_rate,
+    fig12_cpu_latency,
+    fig13_cpu_perf,
+    fig14_miss_breakdown,
+    fig15_shared_l1,
+    fig16_topology_dr,
+    fig17_layout_dr,
+    fig19_sensitivity,
+    node_mix,
+)
+
+#: experiment modules in paper order
+ALL_EXPERIMENTS = [
+    fig02_locality,
+    fig05_topology,
+    fig06_avcp,
+    fig07_adaptive,
+    fig09_layout,
+    fig10_gpu_perf,
+    fig11_data_rate,
+    fig12_cpu_latency,
+    fig13_cpu_perf,
+    fig14_miss_breakdown,
+    fig15_shared_l1,
+    fig16_topology_dr,
+    fig17_layout_dr,
+    fig19_sensitivity,
+    node_mix,
+    area_energy,
+    ablations,
+]
+
+
+def run_all(**kwargs) -> Dict[str, ExperimentResult]:
+    """Run every experiment; kwargs are forwarded to each ``run``."""
+    results = {}
+    for module in ALL_EXPERIMENTS:
+        result = module.run(**kwargs)
+        results[result.name] = result
+    return results
+
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "DEFAULT_CYCLES",
+    "DEFAULT_WARMUP",
+    "ExperimentResult",
+    "clear_sweep_cache",
+    "default_benchmarks",
+    "mechanism_config",
+    "mechanism_sweep",
+    "run_all",
+]

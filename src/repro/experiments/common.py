@@ -1,0 +1,135 @@
+"""Shared infrastructure for the per-figure experiment modules.
+
+Each ``figNN_*`` module exposes ``run(...) -> ExperimentResult`` that
+regenerates one paper figure/table: same rows, same normalisations.  The
+heavy lifting — simulating every (GPU benchmark, CPU co-runner, mechanism)
+triple — is shared through a process-level cache so that Figures 10-14,
+which all read the same sweep, simulate it once.
+
+Window lengths default to ``REPRO_CYCLES``/``REPRO_WARMUP`` (env vars) so
+the benchmark harness and CI can trade fidelity for speed uniformly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.config.system import SystemConfig
+from repro.sim.metrics import SimulationResult
+from repro.sim.simulator import run_simulation
+from repro.config import (
+    baseline_config,
+    delegated_replies_config,
+    realistic_probing_config,
+)
+from repro.workloads.gpu import GPU_BENCHMARK_NAMES
+from repro.workloads.mixes import TABLE_II
+
+DEFAULT_CYCLES = int(os.environ.get("REPRO_CYCLES", "3000"))
+DEFAULT_WARMUP = int(os.environ.get("REPRO_WARMUP", "2000"))
+
+#: the three reply-delivery mechanisms compared throughout the evaluation
+MECHANISMS = ("baseline", "rp", "dr")
+
+_CONFIG_FACTORIES = {
+    "baseline": baseline_config,
+    "rp": realistic_probing_config,
+    "dr": delegated_replies_config,
+}
+
+
+def mechanism_config(mechanism: str) -> SystemConfig:
+    """A fresh config for one of ``baseline`` / ``rp`` / ``dr``."""
+    try:
+        return _CONFIG_FACTORIES[mechanism]()
+    except KeyError:
+        raise ValueError(
+            f"unknown mechanism {mechanism!r}; choose from {MECHANISMS}"
+        ) from None
+
+
+def default_benchmarks(subset: Optional[int] = None) -> List[str]:
+    """The 11 Table II GPU benchmarks, optionally a representative subset.
+
+    The subset keeps the paper's extremes: HS (best case), SC (LLC-bound,
+    worst case), 3DCON (remote misses) and NN (low miss rate).
+    """
+    if subset is None:
+        return list(GPU_BENCHMARK_NAMES)
+    representative = ["HS", "SC", "3DCON", "NN", "2DCON", "BP", "MM",
+                      "LPS", "BT", "LUD", "SRAD"]
+    return representative[: max(1, subset)]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment: rows, a rendered table and raw data."""
+
+    name: str
+    description: str
+    rows: List[Tuple[str, Mapping[str, float]]]
+    text: str
+    data: Dict = field(default_factory=dict)
+
+    def column(self, name: str) -> List[float]:
+        return [r[1][name] for r in self.rows if name in r[1]]
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text
+
+
+# ----------------------------------------------------------------------
+# cached mechanism sweep shared by Figures 10-14 and the energy study
+# ----------------------------------------------------------------------
+
+_SWEEP_CACHE: Dict[Tuple, Dict[Tuple[str, str, str], SimulationResult]] = {}
+
+
+def cpu_corunners(gpu_name: str, n_mixes: int) -> List[str]:
+    """The first ``n_mixes`` Table II CPU co-runners of a GPU benchmark."""
+    return list(TABLE_II[gpu_name.upper()][: max(1, n_mixes)])
+
+
+def mechanism_sweep(
+    benchmarks: Sequence[str],
+    n_mixes: int = 1,
+    cycles: int = DEFAULT_CYCLES,
+    warmup: int = DEFAULT_WARMUP,
+    mechanisms: Sequence[str] = MECHANISMS,
+) -> Dict[Tuple[str, str, str], SimulationResult]:
+    """Simulate every (GPU bench, CPU co-runner, mechanism) triple.
+
+    Results are cached per process so the per-figure modules can share one
+    sweep.  Keys are ``(gpu, cpu, mechanism)``.
+    """
+    key = (tuple(benchmarks), n_mixes, cycles, warmup, tuple(mechanisms))
+    if key in _SWEEP_CACHE:
+        return _SWEEP_CACHE[key]
+    out: Dict[Tuple[str, str, str], SimulationResult] = {}
+    for gpu in benchmarks:
+        for cpu in cpu_corunners(gpu, n_mixes):
+            for mech in mechanisms:
+                cfg = mechanism_config(mech)
+                out[(gpu, cpu, mech)] = run_simulation(
+                    cfg, gpu, cpu, cycles=cycles, warmup=warmup
+                )
+    _SWEEP_CACHE[key] = out
+    return out
+
+
+def clear_sweep_cache() -> None:
+    """Drop cached sweeps (tests use this to force fresh simulations)."""
+    _SWEEP_CACHE.clear()
+
+
+def run_config(
+    cfg: SystemConfig,
+    gpu: str,
+    cpu: Optional[str] = None,
+    cycles: int = DEFAULT_CYCLES,
+    warmup: int = DEFAULT_WARMUP,
+) -> SimulationResult:
+    """Uncached single-configuration run (for topology/layout studies)."""
+    return run_simulation(cfg, gpu, cpu, cycles=cycles, warmup=warmup)

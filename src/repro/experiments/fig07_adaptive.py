@@ -1,0 +1,68 @@
+"""Figure 7: adaptive routing vs CDR (Section III-B).
+
+DyXY [45], Footprint [22] and HARE [37] route around *unbalanced*
+congestion — but the request network has none, and in the reply network
+every path from a memory node is equally clogged.  The adaptive schemes
+therefore pay their overheads without any benefit and the paper measures a
+small slowdown versus CDR.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_table
+from repro.config import RoutingPolicy, baseline_config
+from repro.experiments.common import (
+    DEFAULT_CYCLES,
+    DEFAULT_WARMUP,
+    ExperimentResult,
+    cpu_corunners,
+    default_benchmarks,
+    run_config,
+)
+
+ADAPTIVE_POLICIES = (
+    RoutingPolicy.DYXY,
+    RoutingPolicy.FOOTPRINT,
+    RoutingPolicy.HARE,
+)
+
+
+def run(
+    benchmarks: Optional[Sequence[str]] = None,
+    cycles: int = DEFAULT_CYCLES,
+    warmup: int = DEFAULT_WARMUP,
+) -> ExperimentResult:
+    """Regenerate Fig. 7: adaptive-routing GPU perf normalised to CDR."""
+    benchmarks = list(benchmarks or default_benchmarks(subset=5))
+    rows: List[Tuple[str, dict]] = []
+    for gpu in benchmarks:
+        cpu = cpu_corunners(gpu, 1)[0]
+        base = run_config(
+            baseline_config(), gpu, cpu, cycles=cycles, warmup=warmup
+        )
+        values = {}
+        for policy in ADAPTIVE_POLICIES:
+            cfg = baseline_config()
+            cfg.noc.routing = policy
+            res = run_config(cfg, gpu, cpu, cycles=cycles, warmup=warmup)
+            values[policy.value] = res.gpu_ipc / base.gpu_ipc
+        rows.append((gpu, values))
+    text = format_table(
+        "Fig. 7: adaptive routing vs CDR baseline "
+        "(paper: adaptive routing does not help, slightly hurts)",
+        rows,
+        mean="hmean",
+        label_header="benchmark",
+    )
+    return ExperimentResult(
+        name="fig07_adaptive",
+        description="Adaptive routing is ineffective against clogging",
+        rows=rows,
+        text=text,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().text)

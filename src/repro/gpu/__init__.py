@@ -1,0 +1,22 @@
+"""GPU core model: SM, FRQ, CTA scheduling and L1 organisations."""
+
+from repro.gpu.core import GpuCore, GpuCoreStats
+from repro.gpu.cta import apply_cta_policy
+from repro.gpu.frq import ForwardedRequestQueue
+from repro.gpu.shared_l1 import (
+    DynEBPort,
+    PrivateL1,
+    SharedL1Cluster,
+    SharedL1Port,
+)
+
+__all__ = [
+    "DynEBPort",
+    "ForwardedRequestQueue",
+    "GpuCore",
+    "GpuCoreStats",
+    "PrivateL1",
+    "SharedL1Cluster",
+    "SharedL1Port",
+    "apply_cta_policy",
+]

@@ -1,0 +1,6 @@
+"""Memory substrate: GDDR5 timing model, FR-FCFS controller, address map."""
+
+from repro.mem.address import AddressMap, hash_block
+from repro.mem.dram import DramBank, MemoryController
+
+__all__ = ["AddressMap", "DramBank", "MemoryController", "hash_block"]

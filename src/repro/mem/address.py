@@ -1,0 +1,42 @@
+"""Memory-side address mapping.
+
+Memory is partitioned by address range across the memory controllers
+following PAE's randomized address mapping [43]: a multiplicative hash of
+the block address selects the home memory node, which spreads both GPU and
+CPU footprints evenly over the controllers and avoids pathological
+camping on a single node.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: Knuth's multiplicative hash constant (golden-ratio based).
+_MULT = 0x9E3779B97F4A7C15
+_MASK = (1 << 64) - 1
+
+
+def hash_block(block: int) -> int:
+    """64-bit mix of a block id (deterministic, well distributed)."""
+    h = (block * _MULT) & _MASK
+    h ^= h >> 29
+    h = (h * 0xBF58476D1CE4E5B9) & _MASK
+    h ^= h >> 32
+    return h
+
+
+class AddressMap:
+    """Maps block ids to their home memory node."""
+
+    def __init__(self, mem_nodes: Sequence[int]) -> None:
+        if not mem_nodes:
+            raise ValueError("need at least one memory node")
+        self.mem_nodes = tuple(mem_nodes)
+
+    def home_of(self, block: int) -> int:
+        """Home memory node id for ``block`` (PAE-style randomized)."""
+        return self.mem_nodes[hash_block(block) % len(self.mem_nodes)]
+
+    def slice_index_of(self, block: int) -> int:
+        """Index (0..n_mem-1) of the slice owning ``block``."""
+        return hash_block(block) % len(self.mem_nodes)

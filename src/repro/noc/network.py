@@ -1,0 +1,237 @@
+"""The NoC fabric: physical networks, wiring, stepping and statistics.
+
+The baseline uses *physically separate* request and reply networks (two
+:class:`PhysicalNetwork` instances); the virtual-network configurations of
+Sections III-B (AVCP) and VII share one physical network and partition its
+VCs between the two traffic classes.  :class:`NocFabric` hides that choice
+from the endpoints: they enqueue packets on their NIC and the fabric places
+them on the right physical network and VC range.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.config.system import NocConfig
+from repro.noc.nic import MemoryNodeNic, NodeInterface
+from repro.noc.packet import NetKind, Packet, TrafficClass
+from repro.noc.router import LOCAL_PORT, Router
+from repro.noc.routing import RoutingAlgorithm, build_routing
+from repro.noc.topology import BaseTopology
+
+
+class PhysicalNetwork:
+    """One physical network: routers, links and per-link statistics."""
+
+    def __init__(
+        self,
+        name: str,
+        topology: BaseTopology,
+        cfg: NocConfig,
+        routing: RoutingAlgorithm,
+        vcs: int,
+        vc_range_for: Callable[[Packet], Tuple[int, int]],
+    ) -> None:
+        self.name = name
+        self.topology = topology
+        self.cfg = cfg
+        self.routing = routing
+        self.vcs = vcs
+        self.vc_range = vc_range_for
+        self.bandwidth = max(1, round(cfg.bandwidth_factor))
+        self.escape_vc_active = routing.adaptive
+        self.nics: List[NodeInterface] = []
+        n = topology.n
+        self.routers: List[Router] = []
+        #: per-router map neighbour-id -> output-port index
+        self._port_of: List[Dict[int, int]] = []
+        for rid in range(n):
+            neighbors = topology.neighbors(rid)
+            router = Router(
+                rid,
+                self,
+                nports=1 + len(neighbors),
+                vcs=vcs,
+                vc_cap=cfg.vc_depth_flits,
+                pipeline=cfg.router_pipeline_cycles - 1 + cfg.link_cycles,
+            )
+            self.routers.append(router)
+            self._port_of.append(
+                {nb: 1 + i for i, nb in enumerate(neighbors)}
+            )
+        # wire downstream pointers
+        for rid in range(n):
+            router = self.routers[rid]
+            for nb, port in self._port_of[rid].items():
+                down = self.routers[nb]
+                router.downstream[port] = (down, self._port_of[nb][rid])
+        #: flits moved per directed link, indexed [rid][oport]
+        self.link_flits: List[List[int]] = [
+            [0] * r.nports for r in self.routers
+        ]
+        self.packets_delivered = 0
+        self.flits_delivered = 0
+        self.cycles = 0
+        #: delivered packet counts per message type (int value of MessageType)
+        self.delivered_by_type: Dict[int, int] = {}
+
+    # -- hooks used by routers -----------------------------------------
+
+    def route(self, router: Router, pkt: Packet) -> int:
+        """Output port for ``pkt`` at ``router`` (LOCAL_PORT = ejection)."""
+        if pkt.dst == router.rid:
+            return LOCAL_PORT
+        nxt = self.routing.next_hop(self, router.rid, pkt)
+        return self._port_of[router.rid][nxt]
+
+    def dor_port(self, router: Router, pkt: Packet) -> int:
+        if pkt.dst == router.rid:
+            return LOCAL_PORT
+        nxt = self.routing.dor_next(router.rid, pkt)
+        return self._port_of[router.rid][nxt]
+
+    def downstream_free(self, cur: int, nxt: int) -> int:
+        """Free buffer flits at ``nxt``'s input port fed by ``cur``."""
+        down = self.routers[nxt]
+        dport = self._port_of[nxt][cur]
+        return down.free_flits(dport)
+
+    def eject_flit(self, rid: int, pkt: Packet, is_tail: bool, cycle: int) -> None:
+        if is_tail:
+            pkt.delivered = cycle
+            self.packets_delivered += 1
+            self.flits_delivered += pkt.size_flits
+            key = int(pkt.mtype)
+            self.delivered_by_type[key] = self.delivered_by_type.get(key, 0) + 1
+            self.nics[rid].deliver(pkt, cycle)
+
+    def count_link_flit(self, rid: int, oport: int) -> None:
+        self.link_flits[rid][oport] += 1
+
+    # -- stepping and statistics ----------------------------------------
+
+    def step(self, cycle: int) -> None:
+        self.cycles += 1
+        for router in self.routers:
+            if router.active:
+                router.step(cycle)
+
+    def link_utilization(self, rid: int, oport: int) -> float:
+        """Fraction of cycles the directed link out of ``(rid, oport)``
+        carried a flit (normalised by the link's flit bandwidth)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.link_flits[rid][oport] / (self.cycles * self.bandwidth)
+
+    def utilization_of_links_into(self, rid: int) -> List[float]:
+        """Utilisation of every link pointing *towards* router ``rid``."""
+        out = []
+        for nb, _port in self._port_of[rid].items():
+            towards = self._port_of[nb][rid]
+            out.append(self.link_utilization(nb, towards))
+        return out
+
+    def buffered_flits(self) -> int:
+        return sum(r.buffered_flits() for r in self.routers)
+
+    def total_flits_routed(self) -> int:
+        return sum(r.flits_routed for r in self.routers)
+
+
+class NocFabric:
+    """Request + reply networks plus the per-node NICs."""
+
+    def __init__(
+        self,
+        topology: BaseTopology,
+        cfg: NocConfig,
+        mem_nodes: Tuple[int, ...] = (),
+    ) -> None:
+        self.topology = topology
+        self.cfg = cfg
+        self.separate_networks = cfg.separate_physical_networks
+        self.bandwidth = max(1, round(cfg.bandwidth_factor))
+        routing = build_routing(topology, cfg)
+        self.routing = routing
+        if self.separate_networks:
+            vcs = cfg.vcs_per_port
+
+            def full_range(pkt: Packet, _v: int = vcs) -> Tuple[int, int]:
+                return (0, _v)
+
+            self.request_net = PhysicalNetwork(
+                "request", topology, cfg, routing, vcs, full_range
+            )
+            self.reply_net = PhysicalNetwork(
+                "reply", topology, cfg, routing, vcs, full_range
+            )
+            self._nets = {
+                NetKind.REQUEST: self.request_net,
+                NetKind.REPLY: self.reply_net,
+            }
+        else:
+            vcs = cfg.request_vcs + cfg.reply_vcs
+
+            def split_range(
+                pkt: Packet,
+                _rq: int = cfg.request_vcs,
+                _total: int = vcs,
+            ) -> Tuple[int, int]:
+                if pkt.net is NetKind.REQUEST:
+                    return (0, _rq)
+                return (_rq, _total)
+
+            shared = PhysicalNetwork(
+                "shared", topology, cfg, routing, vcs, split_range
+            )
+            self.request_net = shared
+            self.reply_net = shared
+            self._nets = {NetKind.REQUEST: shared, NetKind.REPLY: shared}
+        mem_set = set(mem_nodes)
+        self.nics: List[NodeInterface] = []
+        for node in range(topology.n):
+            if node in mem_set:
+                nic: NodeInterface = MemoryNodeNic(
+                    node,
+                    self,
+                    queue_packets=cfg.node_injection_queue_packets,
+                    reply_buffer_flits=cfg.mem_injection_buffer_flits,
+                )
+            else:
+                nic = NodeInterface(
+                    node, self, queue_packets=cfg.node_injection_queue_packets
+                )
+            self.nics.append(nic)
+        for net in set(self._nets.values()):
+            net.nics = self.nics
+
+    # -- endpoint API ---------------------------------------------------
+
+    def nic(self, node: int) -> NodeInterface:
+        return self.nics[node]
+
+    def router_for(self, node: int, net: NetKind) -> Router:
+        return self._nets[net].routers[node]
+
+    def vc_range_for(self, pkt: Packet) -> Tuple[int, int]:
+        return self._nets[pkt.net].vc_range(pkt)
+
+    # -- simulation -----------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        """Advance the fabric one cycle: route flits, then inject."""
+        for net in set(self._nets.values()):
+            net.step(cycle)
+        for nic in self.nics:
+            nic.inject_step(cycle)
+
+    def in_flight_flits(self) -> int:
+        """Flits buffered in routers (conservation checks in tests)."""
+        return sum(net.buffered_flits() for net in set(self._nets.values()))
+
+    def memory_blocking_rates(self) -> Dict[int, float]:
+        return {
+            nic.node_id: nic.blocking_rate
+            for nic in self.nics
+            if isinstance(nic, MemoryNodeNic)
+        }

@@ -1,0 +1,279 @@
+"""Node interfaces (NICs): injection queues, ejection and delegation hooks.
+
+Each node owns one :class:`NodeInterface` with a per-network injection
+queue.  Compute nodes use packet-count-bounded queues; memory nodes use a
+flit-bounded *reply injection buffer* — the resource whose exhaustion is the
+paper's definition of a *blocked* memory node (Figure 3).
+
+The memory-node NIC implements the two scheduler behaviours the paper
+builds on:
+
+* CPU replies are selected before GPU replies (priority-based scheduling is
+  only effective once replies actually reach this buffer — Section II), and
+* when the reply network cannot accept a flit this cycle, the oldest
+  *delegatable* reply is converted into a 1-flit delegated request on the
+  (under-utilised) request network (Figure 4).  The delegation decision
+  itself lives in :mod:`repro.core.delegated_replies` and is attached as a
+  policy hook.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.noc.packet import NetKind, Packet, TrafficClass
+from repro.noc.router import LOCAL_PORT
+
+
+class NodeInterface:
+    """Injection/ejection interface of a compute (CPU or GPU) node."""
+
+    def __init__(self, node_id: int, fabric, queue_packets: int) -> None:
+        self.node_id = node_id
+        self.fabric = fabric
+        self.queue_packets = queue_packets
+        self.queues: Dict[NetKind, Deque[Packet]] = {
+            NetKind.REQUEST: deque(),
+            NetKind.REPLY: deque(),
+        }
+        #: per-network in-flight injections: vc -> [packet, flits_pushed].
+        #: Multiple packets inject concurrently on different VCs, which is
+        #: what lets a 2x-bandwidth link actually carry two worms.
+        self._inflight: Dict[NetKind, Dict[int, List]] = {
+            NetKind.REQUEST: {},
+            NetKind.REPLY: {},
+        }
+        #: called with (packet, cycle) when a packet is fully ejected here.
+        self.handler: Optional[Callable[[Packet, int], None]] = None
+        #: optional admission control for ejection (e.g. a full FRQ refuses
+        #: delegated requests, back-pressuring the request network).
+        self.eject_gate: Optional[Callable[[Packet], bool]] = None
+        self.flits_injected = 0
+        self.flits_injected_net: Dict[NetKind, int] = {
+            NetKind.REQUEST: 0,
+            NetKind.REPLY: 0,
+        }
+        self.packets_sent_net: Dict[NetKind, int] = {
+            NetKind.REQUEST: 0,
+            NetKind.REPLY: 0,
+        }
+        self.flits_received: Dict[TrafficClass, int] = {
+            TrafficClass.CPU: 0,
+            TrafficClass.GPU: 0,
+        }
+        self.data_flits_received = 0
+
+    # -- endpoint-facing API -------------------------------------------
+
+    def can_enqueue(self, net: NetKind) -> bool:
+        return len(self.queues[net]) < self.queue_packets
+
+    def try_send(self, pkt: Packet, cycle: int) -> bool:
+        """Queue ``pkt`` for injection; False if the queue is full."""
+        if not self.can_enqueue(pkt.net):
+            return False
+        pkt.created = cycle if pkt.created == 0 else pkt.created
+        self.queues[pkt.net].append(pkt)
+        self.packets_sent_net[pkt.net] += 1
+        return True
+
+    # -- ejection (called by the network) ------------------------------
+
+    def can_eject(self, pkt: Packet) -> bool:
+        """Whether a new worm destined here may start ejecting."""
+        if self.eject_gate is not None:
+            return self.eject_gate(pkt)
+        return True
+
+    def deliver(self, pkt: Packet, cycle: int) -> None:
+        self.flits_received[pkt.cls] += pkt.size_flits
+        if pkt.size_flits > 1:
+            self.data_flits_received += pkt.size_flits - 1
+        if self.handler is not None:
+            self.handler(pkt, cycle)
+
+    # -- injection (called by the fabric each cycle) --------------------
+
+    def inject_step(self, cycle: int) -> None:
+        if self.fabric.separate_networks:
+            for net in (NetKind.REQUEST, NetKind.REPLY):
+                if self.queues[net] or self._inflight[net]:
+                    self._inject_net(net, cycle, self.fabric.bandwidth)
+        else:
+            # one physical network: the injection link is shared, so the
+            # two queues share the per-cycle flit budget (reply first on
+            # odd cycles to avoid starvation).
+            order = (
+                (NetKind.REPLY, NetKind.REQUEST)
+                if cycle & 1
+                else (NetKind.REQUEST, NetKind.REPLY)
+            )
+            budget = self.fabric.bandwidth
+            for net in order:
+                if budget <= 0:
+                    break
+                budget -= self._inject_net(net, cycle, budget)
+
+    def _select_head(self, net: NetKind) -> Optional[Packet]:
+        """The packet to inject next on ``net`` (FIFO for compute nodes)."""
+        q = self.queues[net]
+        return q[0] if q else None
+
+    def _pop_head(self, net: NetKind, pkt: Packet) -> None:
+        self.queues[net].remove(pkt)
+
+    def _inject_net(self, net: NetKind, cycle: int, budget: int) -> int:
+        """Push up to ``budget`` flits into the local router.
+
+        In-flight packets (one per VC) push one flit each; remaining budget
+        starts new packets from the queue on free VCs.  Returns the number
+        of flits pushed.
+        """
+        pushed_now = 0
+        router = self.fabric.router_for(self.node_id, net)
+        inflight = self._inflight[net]
+        # continue in-flight worms first (wormhole: must finish)
+        for vc in list(inflight):
+            if budget <= 0:
+                break
+            pkt, pushed = inflight[vc]
+            if not router.can_accept(LOCAL_PORT, vc, pkt):
+                continue
+            is_tail = pushed + 1 == pkt.size_flits
+            router.accept_flit(LOCAL_PORT, vc, pkt, is_tail, cycle)
+            self.flits_injected += 1
+            self.flits_injected_net[net] += 1
+            pushed_now += 1
+            budget -= 1
+            if is_tail:
+                del inflight[vc]
+            else:
+                inflight[vc][1] = pushed + 1
+        # start new worms on free VCs
+        while budget > 0:
+            pkt = self._select_head(net)
+            if pkt is None:
+                break
+            vc = self._pick_vc(router, pkt, exclude=inflight)
+            if vc < 0:
+                break
+            self._pop_head(net, pkt)
+            pkt.injected = cycle
+            is_tail = pkt.size_flits == 1
+            router.accept_flit(LOCAL_PORT, vc, pkt, is_tail, cycle)
+            self.flits_injected += 1
+            self.flits_injected_net[net] += 1
+            pushed_now += 1
+            budget -= 1
+            if not is_tail:
+                inflight[vc] = [pkt, 1]
+        return pushed_now
+
+    def _pick_vc(self, router, pkt: Packet, exclude) -> int:
+        vlo, vhi = self.fabric.vc_range_for(pkt)
+        for vc in range(vlo, vhi):
+            if vc in exclude:
+                continue
+            if router.owner[LOCAL_PORT][vc] is None and router.occ[LOCAL_PORT][vc] < router.vc_cap:
+                return vc
+        return -1
+
+
+#: signature of the delegation policy: given a GPU reply packet, return the
+#: core to delegate to, or None to inject normally.
+DelegationPolicy = Callable[[Packet, int], Optional[Packet]]
+
+
+class MemoryNodeNic(NodeInterface):
+    """Memory-node NIC with a flit-bounded reply injection buffer."""
+
+    def __init__(
+        self,
+        node_id: int,
+        fabric,
+        queue_packets: int,
+        reply_buffer_flits: int,
+    ) -> None:
+        super().__init__(node_id, fabric, queue_packets)
+        self.reply_buffer_flits = reply_buffer_flits
+        self.blocked_cycles = 0
+        self.observed_cycles = 0
+        self.delegations = 0
+        #: set by the Delegated Replies mechanism; maps a delegatable reply
+        #: to its 1-flit delegated request (or None).
+        self.delegation_policy: Optional[DelegationPolicy] = None
+        self.max_delegations_per_cycle = 1
+        #: whether to delegate only when the reply path is blocked.
+        self.delegate_only_when_blocked = True
+
+    def _reply_occupancy(self) -> int:
+        queued = sum(p.size_flits for p in self.queues[NetKind.REPLY])
+        in_flight = sum(
+            pkt.size_flits - pushed
+            for pkt, pushed in self._inflight[NetKind.REPLY].values()
+        )
+        return queued + in_flight
+
+    def can_enqueue(self, net: NetKind) -> bool:
+        if net is NetKind.REPLY:
+            # strict admission: the next (worst-case 9-flit) reply must fit
+            # entirely; a buffer that cannot take one more reply is what the
+            # paper calls a *blocked* memory node (Figure 3).
+            headroom = self.reply_buffer_flits - self._reply_occupancy()
+            return headroom >= 9
+        return super().can_enqueue(net)
+
+    def _select_head(self, net: NetKind) -> Optional[Packet]:
+        q = self.queues[net]
+        if not q:
+            return None
+        if net is NetKind.REPLY:
+            # the injection-buffer scheduler prioritises CPU replies
+            return min(q, key=lambda p: (p.cls, p.pid))
+        return q[0]
+
+    def inject_step(self, cycle: int) -> None:
+        reply_router = self.fabric.router_for(self.node_id, NetKind.REPLY)
+        before = self.flits_injected
+        super().inject_step(cycle)
+        replies_moved = self.flits_injected > before
+        self._maybe_delegate(cycle, replies_moved)
+        self.observed_cycles += 1
+        if not self.can_enqueue(NetKind.REPLY):
+            self.blocked_cycles += 1
+
+    def _maybe_delegate(self, cycle: int, replies_moved: bool) -> None:
+        if self.delegation_policy is None:
+            return
+        queue = self.queues[NetKind.REPLY]
+        if not queue:
+            return
+        # the memory node "cannot inject reply traffic" when its injection
+        # buffer is full (it is blocked, Figure 3) or when the reply router
+        # refused every flit this cycle (Figure 4, cycles 1-2)
+        reply_blocked = not replies_moved or not self.can_enqueue(NetKind.REPLY)
+        if self.delegate_only_when_blocked and not reply_blocked:
+            return
+        done = 0
+        for pkt in list(queue):
+            # packets mid-injection are no longer in the queue, so every
+            # queued reply is still whole and safe to delegate
+            if done >= self.max_delegations_per_cycle:
+                break
+            delegated = self.delegation_policy(pkt, cycle)
+            if delegated is None:
+                continue
+            if not self.can_enqueue(NetKind.REQUEST):
+                break  # request path full; keep the reply
+            queue.remove(pkt)
+            self.queues[NetKind.REQUEST].append(delegated)
+            self.packets_sent_net[NetKind.REQUEST] += 1
+            self.delegations += 1
+            done += 1
+
+    @property
+    def blocking_rate(self) -> float:
+        if self.observed_cycles == 0:
+            return 0.0
+        return self.blocked_cycles / self.observed_cycles

@@ -1,0 +1,263 @@
+"""Wormhole router with virtual channels and class-based priority.
+
+The router models:
+
+* per-input-port, per-VC flit buffers with credit-based backpressure,
+* wormhole flow control — a packet (worm) holds its downstream VC from
+  header to tail, and flits of different packets never interleave within a
+  VC,
+* switch allocation with CPU-over-GPU priority (the baseline gives CPU
+  traffic higher priority throughout the memory system, Section II),
+* a router pipeline: a worm's header must dwell ``pipeline_cycles`` cycles
+  in an input buffer before it can be forwarded; body flits then stream at
+  link rate, exactly like a pipelined wormhole router,
+* an escape virtual channel for adaptive routing (Duato's construction):
+  the first VC of a packet's VC range is reserved for dimension-order
+  routes, which keeps the adaptive schemes of Section III-B deadlock-free.
+
+Worms are *counter-based*: a buffer entry is ``[packet, flits_here,
+ready_cycle]`` and the router tracks how many flits of the head worm it has
+already forwarded.  This gives flit-level bandwidth and blocking behaviour
+without per-flit objects.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.noc.packet import Packet
+
+#: output/input port index of the local node interface.
+LOCAL_PORT = 0
+
+# buffer entry field indices
+_PKT, _AVAIL, _READY = 0, 1, 2
+
+
+class Router:
+    """One NoC router; created and stepped by :class:`PhysicalNetwork`."""
+
+    __slots__ = (
+        "rid",
+        "net",
+        "nports",
+        "vcs",
+        "vc_cap",
+        "pipeline",
+        "buf",
+        "occ",
+        "owner",
+        "route_out",
+        "out_vc",
+        "sent",
+        "active",
+        "downstream",
+        "flits_routed",
+    )
+
+    def __init__(
+        self,
+        rid: int,
+        net: "PhysicalNetwork",
+        nports: int,
+        vcs: int,
+        vc_cap: int,
+        pipeline: int,
+    ) -> None:
+        self.rid = rid
+        self.net = net
+        self.nports = nports
+        self.vcs = vcs
+        self.vc_cap = vc_cap
+        self.pipeline = pipeline
+        self.buf: List[List[deque]] = [
+            [deque() for _ in range(vcs)] for _ in range(nports)
+        ]
+        self.occ = [[0] * vcs for _ in range(nports)]
+        #: worm currently streaming *into* each input VC (write lock).
+        self.owner: List[List[Optional[Packet]]] = [
+            [None] * vcs for _ in range(nports)
+        ]
+        #: chosen output port for the head worm of each input VC (-1 unset).
+        self.route_out = [[-1] * vcs for _ in range(nports)]
+        #: allocated downstream VC for the head worm (-1 unset).
+        self.out_vc = [[-1] * vcs for _ in range(nports)]
+        #: flits of the head worm already forwarded from this router.
+        self.sent = [[0] * vcs for _ in range(nports)]
+        #: input VCs that currently hold any worm state; kept exact so the
+        #: network can skip idle routers entirely.
+        self.active: Dict[Tuple[int, int], bool] = {}
+        #: output port -> (downstream router, downstream input port);
+        #: filled in by the network during wiring.  Entry for LOCAL_PORT is
+        #: None (ejection goes to the node interface).
+        self.downstream: List[Optional[Tuple["Router", int]]] = [None] * nports
+        #: total flits moved through this router (energy model input).
+        self.flits_routed = 0
+
+    # ------------------------------------------------------------------
+    # buffer interface used by upstream routers and node interfaces
+    # ------------------------------------------------------------------
+
+    def can_accept(self, port: int, vc: int, pkt: Packet) -> bool:
+        """True if one flit of ``pkt`` can enter input VC ``(port, vc)``."""
+        if self.occ[port][vc] >= self.vc_cap:
+            return False
+        owner = self.owner[port][vc]
+        return owner is None or owner is pkt
+
+    def accept_flit(self, port: int, vc: int, pkt: Packet, is_tail: bool, cycle: int) -> None:
+        """Receive one flit of ``pkt`` into input VC ``(port, vc)``."""
+        q = self.buf[port][vc]
+        owner = self.owner[port][vc]
+        if owner is pkt and q and q[-1][_PKT] is pkt:
+            q[-1][_AVAIL] += 1
+        elif owner is pkt:
+            # continuation of a worm whose buffered flits already drained:
+            # the path is established, body flits flow without re-paying
+            # the router pipeline
+            q.append([pkt, 1, cycle])
+            self.active[(port, vc)] = True
+        else:
+            # header flit of a new worm in this VC
+            q.append([pkt, 1, cycle + self.pipeline])
+            self.owner[port][vc] = pkt
+            self.active[(port, vc)] = True
+        self.occ[port][vc] += 1
+        if is_tail:
+            self.owner[port][vc] = None
+
+    def free_flits(self, port: int) -> int:
+        """Total free buffer space on an input port (congestion metric)."""
+        occ = self.occ[port]
+        return self.vc_cap * self.vcs - sum(occ)
+
+    def free_flits_range(self, port: int, vlo: int, vhi: int) -> int:
+        occ = self.occ[port]
+        return self.vc_cap * (vhi - vlo) - sum(occ[vlo:vhi])
+
+    def buffered_flits(self) -> int:
+        return sum(sum(row) for row in self.occ)
+
+    # ------------------------------------------------------------------
+    # per-cycle switch traversal
+    # ------------------------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        """Arbitrate each output port and move up to ``bw`` flits per port."""
+        if not self.active:
+            return
+        net = self.net
+        for _ in range(net.bandwidth):
+            if not self._arbitrate_once(cycle, net):
+                break
+
+    def _arbitrate_once(self, cycle: int, net: "PhysicalNetwork") -> bool:
+        """One switch-allocation pass; returns True if any flit moved."""
+        # output port -> (priority key, iport, ivc)
+        winners: Dict[int, Tuple[Tuple[int, int], int, int]] = {}
+        buf = self.buf
+        route_out = self.route_out
+        out_vc = self.out_vc
+        dead = []
+        for key_iv in self.active:
+            iport, ivc = key_iv
+            q = buf[iport][ivc]
+            if not q:
+                dead.append(key_iv)
+                continue
+            head = q[0]
+            if head[_AVAIL] == 0 or cycle < head[_READY]:
+                continue
+            pkt: Packet = head[_PKT]
+            oport = route_out[iport][ivc]
+            if oport < 0:
+                oport = net.route(self, pkt)
+                if oport < 0:
+                    continue  # no admissible output this cycle
+                route_out[iport][ivc] = oport
+            if oport == LOCAL_PORT:
+                # ejection: gate new worms on endpoint acceptance
+                if self.sent[iport][ivc] == 0 and not net.nics[self.rid].can_eject(pkt):
+                    continue
+            else:
+                ovc = out_vc[iport][ivc]
+                down, dport = self.downstream[oport]
+                if ovc >= 0:
+                    # fast path: established worm, check credit + write lock
+                    if down.occ[dport][ovc] >= down.vc_cap:
+                        continue
+                    owner = down.owner[dport][ovc]
+                    if owner is not None and owner is not pkt:
+                        continue
+                elif not self._allocate_vc(iport, ivc, oport, pkt, down, dport):
+                    if net.escape_vc_active and out_vc[iport][ivc] < 0:
+                        # adaptive choice stuck before VC allocation: allow a
+                        # re-route next cycle so the escape (DOR) path stays
+                        # reachable (deadlock freedom).
+                        route_out[iport][ivc] = -1
+                    continue
+            key = (pkt.cls, pkt.pid)
+            cur = winners.get(oport)
+            if cur is None or key < cur[0]:
+                winners[oport] = (key, iport, ivc)
+        for key_iv in dead:
+            self.active.pop(key_iv, None)
+        if not winners:
+            return False
+        # the crossbar transfers at most one flit per input port and one
+        # per output port per cycle (Section II's switch constraints);
+        # winners is per-output already, now enforce per-input uniqueness
+        taken_inputs = set()
+        moved = False
+        for oport, (key, iport, ivc) in sorted(
+            winners.items(), key=lambda kv: kv[1][0]
+        ):
+            if iport in taken_inputs:
+                continue
+            taken_inputs.add(iport)
+            self._move_flit(iport, ivc, oport, cycle)
+            moved = True
+        return moved
+
+    def _allocate_vc(
+        self, iport: int, ivc: int, oport: int, pkt: Packet, down, dport
+    ) -> bool:
+        """Allocate a downstream VC with credit for a worm's header."""
+        vlo, vhi = self.net.vc_range(pkt)
+        escape_only_dor = self.net.escape_vc_active
+        for vc in range(vlo, vhi):
+            if escape_only_dor and vc == vlo and oport != self.net.dor_port(self, pkt):
+                continue  # escape VC is reserved for dimension-order hops
+            if down.owner[dport][vc] is None and down.occ[dport][vc] < down.vc_cap:
+                self.out_vc[iport][ivc] = vc
+                return True
+        return False
+
+    def _move_flit(self, iport: int, ivc: int, oport: int, cycle: int) -> None:
+        q = self.buf[iport][ivc]
+        head = q[0]
+        pkt: Packet = head[_PKT]
+        head[_AVAIL] -= 1
+        self.occ[iport][ivc] -= 1
+        self.sent[iport][ivc] += 1
+        self.flits_routed += 1
+        is_tail = self.sent[iport][ivc] == pkt.size_flits
+        if oport == LOCAL_PORT:
+            self.net.eject_flit(self.rid, pkt, is_tail, cycle)
+        else:
+            down, dport = self.downstream[oport]
+            ovc = self.out_vc[iport][ivc]
+            down.accept_flit(dport, ovc, pkt, is_tail, cycle)
+            self.net.count_link_flit(self.rid, oport)
+        if is_tail:
+            pkt.hops += 1
+            q.popleft()
+            self.route_out[iport][ivc] = -1
+            self.out_vc[iport][ivc] = -1
+            self.sent[iport][ivc] = 0
+            if not q:
+                self.active.pop((iport, ivc), None)
+        elif head[_AVAIL] == 0 and q[0] is head:
+            # worm stalled waiting for upstream flits; stays head
+            pass

@@ -1,0 +1,142 @@
+"""Routing policies: CDR dimension-order routing and adaptive schemes.
+
+The baseline uses Class-based Deterministic Routing (CDR) [3]: requests and
+replies use *different* dimension orders (YX for requests, XY for replies in
+the baseline layout) which separates CPU and GPU traffic except at the
+memory-node routers (Section V).
+
+The adaptive schemes of Section III-B — DyXY [45], Footprint [22] and
+HARE [37] — choose among the minimal next hops using downstream congestion.
+They are restricted to minimal routes and rely on the escape-VC mechanism in
+:mod:`repro.noc.router` for deadlock freedom.  The paper finds all three
+*reduce* performance versus CDR because the clogged links are the memory
+nodes' single reply links, which no route can avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.config.system import DimensionOrder, NocConfig, RoutingPolicy
+from repro.noc.packet import NetKind, Packet
+from repro.noc.topology import BaseTopology
+
+
+class RoutingAlgorithm:
+    """Chooses the next-hop router for a packet at a router."""
+
+    #: True when the policy routes adaptively (enables the escape VC).
+    adaptive = False
+
+    def __init__(self, topology: BaseTopology, cfg: NocConfig) -> None:
+        self.topology = topology
+        self.cfg = cfg
+
+    def order_for(self, pkt: Packet) -> DimensionOrder:
+        """Dimension order used by a packet's traffic class (CDR)."""
+        if pkt.net is NetKind.REQUEST:
+            return self.cfg.request_order
+        return self.cfg.reply_order
+
+    def dor_next(self, cur: int, pkt: Packet) -> int:
+        """The dimension-order next hop (also the escape-VC route)."""
+        return self.topology.route_next(cur, pkt.dst, self.order_for(pkt))
+
+    def next_hop(self, network, cur: int, pkt: Packet) -> int:
+        """Next-hop router id for ``pkt`` currently at router ``cur``."""
+        raise NotImplementedError
+
+
+class DeterministicRouting(RoutingAlgorithm):
+    """CDR: per-class dimension-order routing [3]."""
+
+    def next_hop(self, network, cur: int, pkt: Packet) -> int:
+        return self.dor_next(cur, pkt)
+
+
+class AdaptiveRouting(RoutingAlgorithm):
+    """Base class for minimal adaptive schemes (mesh only)."""
+
+    adaptive = True
+
+    def congestion(self, network, cur: int, nxt: int, pkt: Packet) -> float:
+        """Estimated congestion of the ``cur -> nxt`` link; lower is better."""
+        return -network.downstream_free(cur, nxt)
+
+    def next_hop(self, network, cur: int, pkt: Packet) -> int:
+        cands = self.topology.adaptive_candidates(cur, pkt.dst)
+        if len(cands) <= 1:
+            return self.dor_next(cur, pkt)
+        return self.select(network, cur, cands, pkt)
+
+    def select(self, network, cur: int, cands: List[int], pkt: Packet) -> int:
+        raise NotImplementedError
+
+
+class DyXYRouting(AdaptiveRouting):
+    """DyXY [45]: pick the minimal direction with more free downstream space."""
+
+    def select(self, network, cur: int, cands: List[int], pkt: Packet) -> int:
+        return min(
+            cands, key=lambda nxt: (self.congestion(network, cur, nxt, pkt), nxt)
+        )
+
+
+class FootprintRouting(AdaptiveRouting):
+    """Footprint [22]: regulated adaptiveness.
+
+    Deviate from dimension order only when the DOR direction is markedly
+    more congested than the alternative (hysteresis threshold in flits).
+    """
+
+    def __init__(self, topology: BaseTopology, cfg: NocConfig, threshold: int = 3):
+        super().__init__(topology, cfg)
+        self.threshold = threshold
+
+    def select(self, network, cur: int, cands: List[int], pkt: Packet) -> int:
+        dor = self.dor_next(cur, pkt)
+        alts = [c for c in cands if c != dor]
+        if not alts:
+            return dor
+        alt = alts[0]
+        dor_cong = self.congestion(network, cur, dor, pkt)
+        alt_cong = self.congestion(network, cur, alt, pkt)
+        if dor_cong - alt_cong > self.threshold:
+            return alt
+        return dor
+
+
+class HARERouting(AdaptiveRouting):
+    """HARE [37]: history-aware congestion estimation (EWMA per link)."""
+
+    def __init__(self, topology: BaseTopology, cfg: NocConfig, alpha: float = 0.9):
+        super().__init__(topology, cfg)
+        self.alpha = alpha
+        self._history: Dict[Tuple[int, int], float] = {}
+
+    def congestion(self, network, cur: int, nxt: int, pkt: Packet) -> float:
+        instant = -network.downstream_free(cur, nxt)
+        key = (cur, nxt)
+        prev = self._history.get(key, float(instant))
+        ewma = self.alpha * prev + (1.0 - self.alpha) * instant
+        self._history[key] = ewma
+        return ewma
+
+    def select(self, network, cur: int, cands: List[int], pkt: Packet) -> int:
+        return min(
+            cands, key=lambda nxt: (self.congestion(network, cur, nxt, pkt), nxt)
+        )
+
+
+def build_routing(topology: BaseTopology, cfg: NocConfig) -> RoutingAlgorithm:
+    """Construct the configured routing policy."""
+    policy = cfg.routing
+    if policy is RoutingPolicy.CDR:
+        return DeterministicRouting(topology, cfg)
+    if policy is RoutingPolicy.DYXY:
+        return DyXYRouting(topology, cfg)
+    if policy is RoutingPolicy.FOOTPRINT:
+        return FootprintRouting(topology, cfg)
+    if policy is RoutingPolicy.HARE:
+        return HARERouting(topology, cfg)
+    raise ValueError(f"unknown routing policy {policy}")

@@ -1,0 +1,33 @@
+"""System assembly, chip layouts, simulation driver and metrics."""
+
+from repro.sim.layout import (
+    DEFAULT_ORDERS,
+    NodePlacement,
+    apply_default_orders,
+    build_layout,
+)
+from repro.sim.memory_node import MemoryNode, MemoryNodeStats
+from repro.sim.metrics import (
+    SimulationResult,
+    collect_counters,
+    derive_result,
+    diff_counters,
+)
+from repro.sim.simulator import build_system, run_simulation
+from repro.sim.system import HeterogeneousSystem
+
+__all__ = [
+    "DEFAULT_ORDERS",
+    "HeterogeneousSystem",
+    "MemoryNode",
+    "MemoryNodeStats",
+    "NodePlacement",
+    "SimulationResult",
+    "apply_default_orders",
+    "build_layout",
+    "build_system",
+    "collect_counters",
+    "derive_result",
+    "diff_counters",
+    "run_simulation",
+]

@@ -1,0 +1,184 @@
+"""Chip layouts of Figure 1 and their default routing orders (Section V).
+
+A layout assigns every grid position a role — GPU core, CPU core or memory
+node.  The baseline (Fig. 1a) isolates CPU and GPU traffic by placing the
+memory nodes in a column between the CPU columns (west) and the GPU
+columns (east) and pairing that with CDR YX-XY routing; the alternatives
+trade that isolation for integration simplicity (B), CPU clustering (C) or
+uniform traffic spreading (D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.config.system import DimensionOrder, Layout, SystemConfig
+
+
+@dataclass(frozen=True)
+class NodePlacement:
+    """Role assignment for every node of the fabric."""
+
+    layout: Layout
+    width: int
+    height: int
+    gpu_nodes: Tuple[int, ...]
+    cpu_nodes: Tuple[int, ...]
+    mem_nodes: Tuple[int, ...]
+
+    def role_of(self, node: int) -> str:
+        if node in self._mem_set:
+            return "mem"
+        if node in self._cpu_set:
+            return "cpu"
+        return "gpu"
+
+    @property
+    def _mem_set(self):
+        return frozenset(self.mem_nodes)
+
+    @property
+    def _cpu_set(self):
+        return frozenset(self.cpu_nodes)
+
+    def validate(self, cfg: SystemConfig) -> None:
+        if len(self.gpu_nodes) != cfg.n_gpu:
+            raise ValueError(f"layout has {len(self.gpu_nodes)} GPU nodes, config wants {cfg.n_gpu}")
+        if len(self.cpu_nodes) != cfg.n_cpu:
+            raise ValueError(f"layout has {len(self.cpu_nodes)} CPU nodes, config wants {cfg.n_cpu}")
+        if len(self.mem_nodes) != cfg.n_mem:
+            raise ValueError(f"layout has {len(self.mem_nodes)} memory nodes, config wants {cfg.n_mem}")
+
+
+def _grid(width: int, height: int) -> List[int]:
+    return list(range(width * height))
+
+
+def _column_major(width: int, height: int) -> List[int]:
+    """Node ids in column-major order: whole columns west to east."""
+    return [y * width + x for x in range(width) for y in range(height)]
+
+
+def _baseline_layout(cfg: SystemConfig) -> NodePlacement:
+    """Fig. 1a: CPU columns | memory column | GPU columns."""
+    order = _column_major(cfg.mesh_width, cfg.mesh_height)
+    cpu = order[: cfg.n_cpu]
+    mem = order[cfg.n_cpu: cfg.n_cpu + cfg.n_mem]
+    gpu = order[cfg.n_cpu + cfg.n_mem:]
+    return NodePlacement(
+        Layout.BASELINE, cfg.mesh_width, cfg.mesh_height,
+        tuple(gpu), tuple(cpu), tuple(mem),
+    )
+
+
+def _edge_layout(cfg: SystemConfig) -> NodePlacement:
+    """Fig. 1b: memory nodes in the top row, CPU columns below-left."""
+    w, h = cfg.mesh_width, cfg.mesh_height
+    top_row = [0 * w + x for x in range(w)]
+    if cfg.n_mem > w:
+        raise ValueError("edge layout needs n_mem <= mesh width")
+    mem = top_row[: cfg.n_mem]
+    remaining = [
+        y * w + x for x in range(w) for y in range(1, h)
+    ] + top_row[cfg.n_mem:]
+    cpu = remaining[: cfg.n_cpu]
+    gpu = remaining[cfg.n_cpu:]
+    return NodePlacement(
+        Layout.EDGE, w, h, tuple(gpu), tuple(cpu), tuple(mem)
+    )
+
+
+def _clustered_layout(cfg: SystemConfig) -> NodePlacement:
+    """Fig. 1c: CPU cores clustered in the north-west corner.
+
+    Memory nodes sit in a compact block next to the cluster, so GPU
+    traffic to/from memory is multiplexed onto few vertical links.
+    """
+    w, h = cfg.mesh_width, cfg.mesh_height
+    side = 1
+    while side * side < cfg.n_cpu:
+        side += 1
+    cpu = [
+        y * w + x for y in range(side) for x in range(side)
+    ][: cfg.n_cpu]
+    cpu_set = set(cpu)
+    # memory block: fill east of the cluster row by row
+    mem: List[int] = []
+    for y in range(h):
+        for x in range(side, w):
+            node = y * w + x
+            if len(mem) < cfg.n_mem:
+                mem.append(node)
+    mem_set = set(mem)
+    gpu = [n for n in _grid(w, h) if n not in cpu_set and n not in mem_set]
+    return NodePlacement(
+        Layout.CLUSTERED, w, h, tuple(gpu), tuple(cpu), tuple(mem)
+    )
+
+
+#: Fig. 1d memory positions for the 8x8 grid (evenly spread, per [38][46]).
+_DISTRIBUTED_MEM_8X8 = (
+    (1, 1), (5, 1), (3, 3), (7, 3), (1, 5), (5, 5), (3, 7), (7, 7),
+)
+
+
+def _distributed_layout(cfg: SystemConfig) -> NodePlacement:
+    """Fig. 1d: all core types spread over the chip."""
+    w, h = cfg.mesh_width, cfg.mesh_height
+    if (w, h) == (8, 8) and cfg.n_mem == 8:
+        mem = [y * w + x for (x, y) in _DISTRIBUTED_MEM_8X8]
+    else:
+        stride = max(1, (w * h) // cfg.n_mem)
+        mem = [(i * stride + stride // 2) % (w * h) for i in range(cfg.n_mem)]
+        mem = sorted(set(mem))
+        extra = 0
+        while len(mem) < cfg.n_mem:  # collision fallback
+            cand = extra
+            if cand not in mem:
+                mem.append(cand)
+            extra += 1
+        mem = sorted(mem[: cfg.n_mem])
+    mem_set = set(mem)
+    rest = [n for n in _grid(w, h) if n not in mem_set]
+    # spread CPU cores evenly across the remaining positions
+    step = len(rest) / cfg.n_cpu
+    cpu = [rest[int(i * step)] for i in range(cfg.n_cpu)]
+    cpu_set = set(cpu)
+    gpu = [n for n in rest if n not in cpu_set]
+    return NodePlacement(
+        Layout.DISTRIBUTED, w, h, tuple(gpu), tuple(cpu), tuple(mem)
+    )
+
+
+_BUILDERS = {
+    Layout.BASELINE: _baseline_layout,
+    Layout.EDGE: _edge_layout,
+    Layout.CLUSTERED: _clustered_layout,
+    Layout.DISTRIBUTED: _distributed_layout,
+}
+
+
+def build_layout(cfg: SystemConfig) -> NodePlacement:
+    """Construct the node placement for the configured layout."""
+    placement = _BUILDERS[cfg.layout](cfg)
+    placement.validate(cfg)
+    return placement
+
+
+#: Section V: the per-layout CDR dimension orders the paper recommends
+#: (request order, reply order).
+DEFAULT_ORDERS: Dict[Layout, Tuple[DimensionOrder, DimensionOrder]] = {
+    Layout.BASELINE: (DimensionOrder.YX, DimensionOrder.XY),
+    Layout.EDGE: (DimensionOrder.XY, DimensionOrder.YX),
+    Layout.CLUSTERED: (DimensionOrder.XY, DimensionOrder.YX),
+    Layout.DISTRIBUTED: (DimensionOrder.XY, DimensionOrder.XY),
+}
+
+
+def apply_default_orders(cfg: SystemConfig) -> SystemConfig:
+    """Set the layout's recommended CDR orders on a config (in place)."""
+    req, rep = DEFAULT_ORDERS[cfg.layout]
+    cfg.noc.request_order = req
+    cfg.noc.reply_order = rep
+    return cfg

@@ -1,0 +1,171 @@
+"""Memory-node endpoint: LLC slice + memory controller behind one NIC.
+
+The memory node ejects requests from the request network (gated on LLC
+input-queue space — a blocked memory node refuses requests, which is the
+back-pressure loop of Figure 3), looks them up in its LLC slice, fetches
+misses from its GDDR5 controller, and posts replies into the NIC's
+flit-bounded reply injection buffer.  Replies to GPU LLC *hits* carry the
+delegation metadata (:class:`~repro.core.delegated_replies.ReplyMeta`)
+that the Delegated Replies NIC policy acts on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Set
+
+from repro.cache.llc import LlcRequest, LlcResult, LlcSlice
+from repro.config.system import SystemConfig
+from repro.core.delegated_replies import ReplyMeta
+from repro.mem.dram import MemoryController
+from repro.noc.nic import MemoryNodeNic
+from repro.noc.packet import MessageType, NetKind, Packet, TrafficClass
+
+
+@dataclass
+class MemoryNodeStats:
+    requests: int = 0
+    gpu_reads: int = 0
+    cpu_reads: int = 0
+    writes: int = 0
+    dnf_requests: int = 0
+    replies_sent: int = 0
+    delegatable_replies: int = 0
+    reply_backpressure_cycles: int = 0
+
+
+class MemoryNode:
+    """One memory node (LLC slice + memory controller)."""
+
+    def __init__(
+        self,
+        node_id: int,
+        cfg: SystemConfig,
+        nic: MemoryNodeNic,
+        gpu_nodes: Set[int],
+        delegation_enabled: bool = False,
+    ) -> None:
+        self.node_id = node_id
+        self.cfg = cfg
+        self.nic = nic
+        self.gpu_nodes = frozenset(gpu_nodes)
+        self.delegation_enabled = delegation_enabled
+        self.controller = MemoryController(cfg.dram, line_bytes=cfg.llc.line_bytes)
+        self.llc = LlcSlice(node_id, cfg.llc, self.controller)
+        self.stats = MemoryNodeStats()
+        #: requests admitted by the ejection gate while the input queue was
+        #: momentarily overbooked by interleaved worms
+        self._overflow: Deque[LlcRequest] = deque()
+        nic.handler = self.on_packet
+        nic.eject_gate = self._eject_gate
+
+    # -- NoC-facing side --------------------------------------------------
+
+    def _eject_gate(self, pkt: Packet) -> bool:
+        return self.llc.can_accept() and not self._overflow
+
+    def on_packet(self, pkt: Packet, cycle: int) -> None:
+        mtype = pkt.mtype
+        if mtype not in (
+            MessageType.READ_REQ,
+            MessageType.WRITE_REQ,
+            MessageType.DNF_REQ,
+        ):  # pragma: no cover - protocol violation
+            raise RuntimeError(f"memory node got unexpected {pkt!r}")
+        self.stats.requests += 1
+        is_write = mtype is MessageType.WRITE_REQ
+        is_cpu = pkt.cls is TrafficClass.CPU
+        if is_write:
+            self.stats.writes += 1
+        elif is_cpu:
+            self.stats.cpu_reads += 1
+        else:
+            self.stats.gpu_reads += 1
+        if mtype is MessageType.DNF_REQ:
+            self.stats.dnf_requests += 1
+        req = LlcRequest(
+            requester=pkt.requester,
+            block=pkt.block >> 1 if is_cpu else pkt.block,
+            is_write=is_write,
+            cls=pkt.cls,
+            dnf=pkt.dnf or mtype is MessageType.DNF_REQ,
+            gpu_core=pkt.requester in self.gpu_nodes,
+            arrival=cycle,
+        )
+        req.orig_block = pkt.block  # reply must echo the requester's view
+        if not self.llc.enqueue(req):
+            self._overflow.append(req)
+
+    # -- per-cycle behaviour ----------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        while self._overflow and self.llc.can_accept():
+            self.llc.enqueue(self._overflow.popleft())
+        self.controller.step(cycle)
+        self.controller.drain_completions(cycle)
+        self.llc.step(cycle)
+        self._drain_results(cycle)
+
+    def _drain_results(self, cycle: int) -> None:
+        while True:
+            result = self.llc.peek_result()
+            if result is None:
+                return
+            if not self.nic.can_enqueue(NetKind.REPLY):
+                self.stats.reply_backpressure_cycles += 1
+                return
+            self.llc.pop_result()
+            self.nic.try_send(self._reply_for(result, cycle), cycle)
+            self.stats.replies_sent += 1
+
+    def _reply_for(self, result: LlcResult, cycle: int) -> Packet:
+        req = result.req
+        if req.is_write:
+            return Packet(
+                src=self.node_id,
+                dst=req.requester,
+                mtype=MessageType.WRITE_ACK,
+                cls=req.cls,
+                size_flits=1,
+                block=req.orig_block,
+                created=cycle,
+            )
+        line = (
+            self.cfg.gpu_l1.line_bytes
+            if req.cls is TrafficClass.GPU
+            else self.cfg.cpu_l1.line_bytes
+        )
+        pkt = Packet(
+            src=self.node_id,
+            dst=req.requester,
+            mtype=MessageType.READ_REPLY,
+            cls=req.cls,
+            size_flits=self.cfg.noc.flits_for(line),
+            block=req.orig_block,
+            created=cycle,
+        )
+        pkt.txn = self._reply_meta(result)
+        if isinstance(pkt.txn, ReplyMeta) and pkt.txn.delegate_to is not None:
+            self.stats.delegatable_replies += 1
+        return pkt
+
+    def _reply_meta(self, result: LlcResult) -> Optional[ReplyMeta]:
+        req = result.req
+        if not self.delegation_enabled:
+            return ReplyMeta(llc_hit=result.hit, delegate_to=None)
+        target: Optional[int] = None
+        if (
+            result.hit
+            and req.gpu_core
+            and not req.dnf
+            and result.pointer is not None
+            and result.pointer != req.requester
+            and result.pointer in self.gpu_nodes
+        ):
+            target = result.pointer
+        return ReplyMeta(llc_hit=result.hit, delegate_to=target)
+
+    def flush_pointers(self) -> int:
+        """Invalidate all core pointers (GPU coherence flush)."""
+        return self.llc.drop_all_pointers()

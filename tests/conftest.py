@@ -1,0 +1,50 @@
+"""Shared fixtures: small, fast system configurations for unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    SystemConfig,
+    baseline_config,
+    delegated_replies_config,
+)
+
+
+def small_config(**overrides) -> SystemConfig:
+    """A 4x4-mesh system that simulates quickly.
+
+    Baseline column-major layout: 4 CPU nodes (west column), 2 memory
+    nodes, 10 GPU nodes.
+    """
+    cfg = baseline_config(
+        mesh_width=4, mesh_height=4, n_cpu=4, n_mem=2, n_gpu=10
+    )
+    for name, value in overrides.items():
+        setattr(cfg, name, value)
+    return cfg
+
+
+def small_dr_config(**overrides) -> SystemConfig:
+    cfg = delegated_replies_config(
+        mesh_width=4, mesh_height=4, n_cpu=4, n_mem=2, n_gpu=10
+    )
+    for name, value in overrides.items():
+        setattr(cfg, name, value)
+    return cfg
+
+
+@pytest.fixture
+def cfg_small() -> SystemConfig:
+    return small_config()
+
+
+@pytest.fixture
+def cfg_small_dr() -> SystemConfig:
+    return small_dr_config()
+
+
+@pytest.fixture
+def cfg_table1() -> SystemConfig:
+    """The full Table I configuration (8x8, 40/16/8)."""
+    return baseline_config()

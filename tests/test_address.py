@@ -1,0 +1,57 @@
+"""Tests for the PAE-style randomized address mapping."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.address import AddressMap, hash_block
+
+
+class TestAddressMap:
+    def test_home_is_a_memory_node(self):
+        amap = AddressMap((2, 10, 18, 26))
+        for block in range(1000):
+            assert amap.home_of(block) in (2, 10, 18, 26)
+
+    def test_deterministic(self):
+        amap = AddressMap((2, 10))
+        assert [amap.home_of(b) for b in range(100)] == [
+            amap.home_of(b) for b in range(100)
+        ]
+
+    def test_distribution_is_roughly_uniform(self):
+        mem_nodes = tuple(range(8))
+        amap = AddressMap(mem_nodes)
+        counts = {m: 0 for m in mem_nodes}
+        for block in range(8000):
+            counts[amap.home_of(block)] += 1
+        for m, c in counts.items():
+            assert 0.8 * 1000 < c < 1.2 * 1000, f"node {m} skewed: {c}"
+
+    def test_sequential_blocks_do_not_camp(self):
+        """PAE's purpose: a streaming access pattern must not hammer one
+        controller."""
+        amap = AddressMap(tuple(range(8)))
+        window = [amap.home_of(b) for b in range(64)]
+        assert len(set(window)) >= 6
+
+    def test_empty_mem_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            AddressMap(())
+
+    def test_slice_index(self):
+        amap = AddressMap((5, 9))
+        for block in range(50):
+            idx = amap.slice_index_of(block)
+            assert amap.home_of(block) == (5, 9)[idx]
+
+
+class TestHash:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 2 ** 48))
+    def test_hash_is_64_bit(self, block):
+        assert 0 <= hash_block(block) < 2 ** 64
+
+    def test_avalanche(self):
+        # flipping one input bit should change many output bits
+        a, b = hash_block(0x1000), hash_block(0x1001)
+        assert bin(a ^ b).count("1") > 16

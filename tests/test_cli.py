@@ -1,0 +1,61 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestList:
+    def test_lists_benchmarks_and_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("2DCON", "HS", "BP", "vips", "fig10_gpu_perf",
+                     "fig19_sensitivity", "ablations"):
+            assert name in out
+
+
+class TestRun:
+    def test_run_baseline(self, capsys):
+        rc = main(["run", "HS", "--cycles", "200", "--warmup", "100"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gpu_ipc" in out
+        assert "mechanism:           baseline" in out
+
+    def test_run_dr_prints_breakdown(self, capsys):
+        rc = main([
+            "run", "HS", "bodytrack", "--mechanism", "dr",
+            "--cycles", "200", "--warmup", "100",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "delegated_fraction" in out
+        assert "cpu_avg_latency" in out
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "NOPE", "--cycles", "100", "--warmup", "50"])
+
+
+class TestExperiment:
+    def test_experiment_runs_and_prints_table(self, capsys):
+        rc = main([
+            "experiment", "fig07_adaptive",
+            "--cycles", "200", "--warmup", "150", "--benchmarks", "HS",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Fig. 7" in out
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        rc = main(["experiment", "fig99_nothing"])
+        assert rc == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestArea:
+    def test_area_prints_calibrated_numbers(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "2.27" in out
+        assert "0.172" in out

@@ -1,0 +1,122 @@
+"""Tests for the CPU core model (Netrace-style dependency-driven)."""
+
+from repro.cpu.core import CpuCore
+from repro.mem.address import AddressMap
+from repro.noc import MeshTopology, MessageType, NocFabric, Packet, TrafficClass
+from repro.workloads.cpu import CpuTraceGenerator, cpu_benchmark
+
+from conftest import small_config
+
+
+class Harness:
+    def __init__(self, bench="vips", node=0):
+        self.cfg = small_config()
+        topo = MeshTopology(4, 4)
+        self.fabric = NocFabric(topo, self.cfg.noc, mem_nodes=(4,))
+        self.core = CpuCore(
+            node_id=node,
+            core_index=0,
+            cfg=self.cfg,
+            trace=CpuTraceGenerator(cpu_benchmark(bench), 0),
+            nic=self.fabric.nic(node),
+            addr_map=AddressMap((4,)),
+        )
+        self.mem_seen = []
+        self.fabric.nic(4).handler = lambda pkt, cyc: self.mem_seen.append(pkt)
+
+    def run(self, cycles, start=0):
+        for cyc in range(start, start + cycles):
+            self.core.step(cyc)
+            self.fabric.step(cyc)
+
+
+class TestCpuTraffic:
+    def test_requests_are_cpu_class_single_flit(self):
+        h = Harness()
+        h.run(500)
+        assert h.mem_seen
+        for p in h.mem_seen:
+            assert p.cls is TrafficClass.CPU
+            assert p.size_flits == 1
+            assert p.mtype is MessageType.READ_REQ
+
+    def test_requests_address_128b_home(self):
+        # a 64 B CPU block maps to the home of its 128 B parent
+        h = Harness()
+        h.run(300)
+        assert all(p.dst == 4 for p in h.mem_seen)
+
+    def test_insts_progress_without_memory(self):
+        h = Harness()
+        h.run(100)
+        assert h.core.stats.insts > 0
+
+    def test_outstanding_bounded(self):
+        h = Harness(bench="canneal")  # large footprint -> many misses
+        h.run(2000)
+        assert len(h.core.mshrs) <= h.cfg.cpu_core.max_outstanding
+
+
+class TestDependencyStalls:
+    def test_reply_unblocks_dependent_load(self):
+        h = Harness()
+        # force a dependent miss deterministically
+        h.core.trace.is_dependent = lambda: True
+        h.run(300)
+        assert h.core._blocked_on is not None
+        block = h.core._blocked_on
+        h.core.on_packet(
+            Packet(4, 0, MessageType.READ_REPLY, TrafficClass.CPU, 5,
+                   block=block, created=0),
+            400,
+        )
+        assert h.core._blocked_on is None
+        assert h.core.l1.contains(block)
+
+    def test_latency_is_round_trip(self):
+        h = Harness()
+        h.core.trace.is_dependent = lambda: True
+        h.run(200)
+        block = h.core._blocked_on
+        issued = h.core._issue_cycle[block]
+        h.core.on_packet(
+            Packet(4, 0, MessageType.READ_REPLY, TrafficClass.CPU, 5,
+                   block=block, created=150),
+            issued + 123,
+        )
+        assert h.core.stats.total_latency == 123
+
+    def test_stall_cycles_accumulate_while_blocked(self):
+        h = Harness()
+        h.core._blocked_on = 0x1234
+        before = h.core.stats.stall_cycles
+        h.run(50)
+        assert h.core.stats.stall_cycles == before + 50
+
+    def test_independent_misses_overlap(self):
+        h = Harness(bench="dedup")  # low dep_fraction
+        h.core.trace.is_dependent = lambda: False
+        h.run(2000)
+        # multiple requests in flight at least once
+        assert h.core.mshrs.peak >= 2
+
+
+class TestIpcSensitivity:
+    def test_slow_network_lowers_ipc(self):
+        """The Netrace property: CPU progress reacts to reply latency."""
+        fast = Harness()
+        fast.core.trace.is_dependent = lambda: True
+        # echo replies instantly
+        def fast_mem(pkt, cyc):
+            fast.core.on_packet(
+                Packet(4, 0, MessageType.READ_REPLY, TrafficClass.CPU, 5,
+                       block=pkt.block, created=cyc),
+                cyc,
+            )
+        fast.fabric.nic(4).handler = fast_mem
+        fast.run(3000)
+
+        slow = Harness()
+        slow.core.trace.is_dependent = lambda: True
+        slow.run(3000)  # replies never come
+        assert fast.core.stats.insts > 2 * max(1, slow.core.stats.insts)

@@ -1,0 +1,119 @@
+"""Tests for the GDDR5 timing model and FR-FCFS controller."""
+
+import pytest
+
+from repro.config.system import DramConfig
+from repro.mem.dram import MemoryController
+
+
+def drain(mc, until=10_000):
+    done = []
+    for cyc in range(until):
+        mc.step(cyc)
+        mc.drain_completions(cyc)
+        if not mc.queue and not mc._completions:
+            break
+    return done
+
+
+class TestTiming:
+    def test_row_miss_pays_activate_precharge(self):
+        mc = MemoryController(DramConfig())
+        done = []
+        mc.submit(0, False, 0, lambda b, c: done.append(c))
+        for cyc in range(200):
+            mc.step(cyc)
+            mc.drain_completions(cyc)
+        # cold access: tRP + tRCD + tCL + burst = 12+12+12+4 = 40
+        assert done == [40]
+
+    def test_row_hit_is_cheaper(self):
+        cfg = DramConfig()
+        mc = MemoryController(cfg)
+        done = []
+        mc.submit(0, False, 0, lambda b, c: done.append(("a", c)))
+        mc.submit(1, False, 0, lambda b, c: done.append(("b", c)))  # same row
+        for cyc in range(300):
+            mc.step(cyc)
+            mc.drain_completions(cyc)
+        assert mc.row_hits == 1 and mc.row_misses == 1
+        (_, t1), (_, t2) = sorted(done, key=lambda x: x[1])
+        # the second (row hit) takes tCL + burst = 16 after issue
+        assert t2 - t1 < 40
+
+    def test_write_pays_twr(self):
+        mc = MemoryController(DramConfig())
+        done = []
+        mc.submit(0, True, 0, lambda b, c: done.append(c))
+        for cyc in range(200):
+            mc.step(cyc)
+            mc.drain_completions(cyc)
+        assert done and done[0] >= 40  # never cheaper than a read
+
+
+class TestFrFcfs:
+    def test_ready_row_hit_bypasses_older_miss(self):
+        cfg = DramConfig()
+        mc = MemoryController(cfg)
+        order = []
+        # fill bank 0 row 0, then queue: (old) row 5 of bank 0, (young)
+        # row 0 of bank 0.  FR-FCFS serves the young row hit first once the
+        # bank reopens row 0.
+        mc.submit(0, False, 0, lambda b, c: order.append(b))
+        for cyc in range(0, 60):
+            mc.step(cyc)
+            mc.drain_completions(cyc)
+        row_blocks = cfg.row_bytes // 128 * cfg.banks
+        old_miss = 5 * row_blocks  # bank 0, row 5
+        young_hit = 1               # bank 0, row 0
+        mc.submit(old_miss, False, 60, lambda b, c: order.append(b))
+        mc.submit(young_hit, False, 60, lambda b, c: order.append(b))
+        for cyc in range(60, 400):
+            mc.step(cyc)
+            mc.drain_completions(cyc)
+        assert order.index(young_hit) < order.index(old_miss)
+
+    def test_bank_parallelism(self):
+        cfg = DramConfig()
+        mc = MemoryController(cfg)
+        done = []
+        blocks_per_row = cfg.row_bytes // 128
+        # two requests on different banks overlap their activates
+        mc.submit(0, False, 0, lambda b, c: done.append(c))
+        mc.submit(blocks_per_row, False, 0, lambda b, c: done.append(c))
+        for cyc in range(300):
+            mc.step(cyc)
+            mc.drain_completions(cyc)
+        assert len(done) == 2
+        assert max(done) < 2 * 40  # overlapped, not serialised
+
+    def test_queue_capacity(self):
+        cfg = DramConfig(queue_depth=2)
+        mc = MemoryController(cfg)
+        mc.submit(0, False, 0, lambda b, c: None)
+        mc.submit(1, False, 0, lambda b, c: None)
+        assert not mc.can_accept()
+        with pytest.raises(RuntimeError):
+            mc.submit(2, False, 0, lambda b, c: None)
+
+    def test_bus_serialises_bursts(self):
+        cfg = DramConfig()
+        mc = MemoryController(cfg)
+        issued = []
+        for i in range(4):
+            mc.submit(i * cfg.row_bytes // 128, False, 0, lambda b, c: issued.append(c))
+        served_before = 0
+        for cyc in range(3):
+            mc.step(cyc)
+        # one burst per max(tCCD, burst) cycles at most
+        assert mc.served <= 1 + 3 // max(cfg.t_ccd, cfg.burst_cycles)
+
+    def test_served_counts(self):
+        mc = MemoryController(DramConfig())
+        for i in range(5):
+            mc.submit(i * 1000, False, 0, lambda b, c: None)
+        for cyc in range(1000):
+            mc.step(cyc)
+            mc.drain_completions(cyc)
+        assert mc.served == 5
+        assert mc.row_hits + mc.row_misses == 5

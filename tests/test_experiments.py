@@ -1,0 +1,155 @@
+"""Smoke tests for the per-figure experiment modules.
+
+Tiny windows and benchmark subsets: these verify plumbing, normalisation
+and output shape, not the paper-scale numbers (the benchmark harness under
+``benchmarks/`` regenerates those).
+"""
+
+import pytest
+
+from repro.experiments import (
+    area_energy,
+    clear_sweep_cache,
+    fig02_locality,
+    fig05_topology,
+    fig06_avcp,
+    fig07_adaptive,
+    fig09_layout,
+    fig10_gpu_perf,
+    fig11_data_rate,
+    fig12_cpu_latency,
+    fig13_cpu_perf,
+    fig14_miss_breakdown,
+    fig15_shared_l1,
+    fig16_topology_dr,
+    fig17_layout_dr,
+    fig19_sensitivity,
+    node_mix,
+)
+from repro.experiments.common import (
+    cpu_corunners,
+    default_benchmarks,
+    mechanism_config,
+    mechanism_sweep,
+)
+
+FAST = dict(cycles=400, warmup=250)
+BENCH2 = ["HS", "SC"]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_sweep_cache()
+    yield
+    clear_sweep_cache()
+
+
+class TestCommon:
+    def test_default_benchmarks_full(self):
+        assert len(default_benchmarks()) == 11
+
+    def test_default_benchmarks_subset_keeps_extremes(self):
+        subset = default_benchmarks(subset=4)
+        assert subset == ["HS", "SC", "3DCON", "NN"]
+
+    def test_cpu_corunners_follow_table_ii(self):
+        assert cpu_corunners("HS", 2) == ["bodytrack", "ferret"]
+
+    def test_mechanism_config_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            mechanism_config("bogus")
+
+    def test_sweep_is_cached(self):
+        s1 = mechanism_sweep(("HS",), 1, 300, 200, mechanisms=("baseline",))
+        s2 = mechanism_sweep(("HS",), 1, 300, 200, mechanisms=("baseline",))
+        assert s1 is s2
+
+    def test_sweep_keys(self):
+        s = mechanism_sweep(("HS",), 1, 300, 200, mechanisms=("baseline", "dr"))
+        assert ("HS", "bodytrack", "baseline") in s
+        assert ("HS", "bodytrack", "dr") in s
+
+
+class TestFigureModules:
+    def test_fig02(self):
+        r = fig02_locality.run(benchmarks=BENCH2, **FAST)
+        assert len(r.rows) == 2
+        for _, v in r.rows:
+            assert 0 <= v["remote_l1_fraction"] <= 1
+
+    def test_fig05(self):
+        r = fig05_topology.run(benchmarks=["HS"], bandwidths=(1.0,), **FAST)
+        assert len(r.rows) == 4  # one per topology
+        mesh_row = dict(r.rows)["mesh-1x"]
+        assert mesh_row["hm_gpu_speedup"] == pytest.approx(1.0)
+
+    def test_fig06(self):
+        r = fig06_avcp.run(benchmarks=["HS"], **FAST)
+        (label, values), = r.rows
+        assert "1req+3rep" in values and "avcp_vs_symmetric" in values
+
+    def test_fig07(self):
+        r = fig07_adaptive.run(benchmarks=["HS"], **FAST)
+        (_, values), = r.rows
+        assert set(values) == {"dyxy", "footprint", "hare"}
+
+    def test_fig09(self):
+        r = fig09_layout.run(benchmarks=["HS"], **FAST)
+        assert len(r.rows) == 7
+        ref = dict(r.rows)["Baseline YX-XY"]
+        assert ref["gpu_perf"] == pytest.approx(1.0)
+        assert ref["cpu_perf"] == pytest.approx(1.0)
+
+    def test_fig10_to_fig14_share_one_sweep(self):
+        r10 = fig10_gpu_perf.run(benchmarks=BENCH2, **FAST)
+        r11 = fig11_data_rate.run(benchmarks=BENCH2, **FAST)
+        r14 = fig14_miss_breakdown.run(benchmarks=BENCH2, **FAST)
+        assert len(r10.rows) == len(r11.rows) == len(r14.rows) == 2
+        assert r10.data["dr_mean_speedup"] > 0
+        for _, v in r14.rows:
+            total = v["llc"] + v["remote_hit"] + v["remote_miss"]
+            assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_fig12_fig13_group_by_cpu(self):
+        r12 = fig12_cpu_latency.run(benchmarks=["HS"], n_mixes=2, **FAST)
+        r13 = fig13_cpu_perf.run(benchmarks=["HS"], n_mixes=2, **FAST)
+        labels = [lbl for lbl, _ in r12.rows]
+        assert set(labels) == {"bodytrack", "ferret"}
+        assert len(r13.rows) == 2
+
+    def test_fig15(self):
+        r = fig15_shared_l1.run(benchmarks=["HS"], **FAST)
+        (_, values), = r.rows
+        assert "dyneb+dr-rr" in values
+
+    def test_fig16(self):
+        r = fig16_topology_dr.run(benchmarks=["HS"], **FAST,
+                                  topologies=list(fig16_topology_dr.TOPOLOGIES)[:2])
+        assert len(r.rows) == 2
+
+    def test_fig17(self):
+        r = fig17_layout_dr.run(benchmarks=["HS"], **FAST)
+        assert len(r.rows) == 4
+        for _, v in r.rows:
+            assert "gpu_dr_speedup" in v and "cpu_dr_speedup" in v
+
+    def test_fig19_single_panel(self):
+        r = fig19_sensitivity.run(benchmarks=["HS"],
+                                  panels=["injection_buffer"], **FAST)
+        assert len(r.rows) == 3
+
+    def test_node_mix(self):
+        r = node_mix.run(benchmarks=["HS"], **FAST)
+        assert len(r.rows) >= 4
+
+    def test_area_energy(self):
+        r = area_energy.run(benchmarks=["HS"], **FAST)
+        d = dict(r.rows)
+        assert d["baseline_noc_mm2"]["value"] == pytest.approx(2.27, abs=0.05)
+        assert d["dr_total_mm2"]["value"] == pytest.approx(0.172, abs=0.01)
+        assert d["rp_request_count"]["ratio"] > 1.5  # RP inflates requests
+
+    def test_result_text_is_renderable(self):
+        r = fig02_locality.run(benchmarks=["HS"], **FAST)
+        assert r.text.startswith("==")
+        assert str(r) == r.text

@@ -1,0 +1,57 @@
+"""Tests for the Forwarded Request Queue (Section IV, Fig. 8)."""
+
+import pytest
+
+from repro.gpu.frq import ForwardedRequestQueue
+
+
+class TestFrqBasics:
+    def test_fifo_order(self):
+        q = ForwardedRequestQueue(4)
+        q.push(1, 0x10, 0)
+        q.push(2, 0x20, 1)
+        assert q.pop() == (1, 0x10, 0)
+        assert q.pop() == (2, 0x20, 1)
+
+    def test_capacity_and_rejection(self):
+        q = ForwardedRequestQueue(2)
+        assert q.push(1, 1, 0)
+        assert q.push(2, 2, 0)
+        assert q.full
+        assert not q.push(3, 3, 0)
+        assert q.rejected == 1
+        assert len(q) == 2
+
+    def test_peek_does_not_remove(self):
+        q = ForwardedRequestQueue(4)
+        q.push(1, 0x10, 5)
+        assert q.peek() == (1, 0x10, 5)
+        assert len(q) == 1
+
+    def test_peek_empty_returns_none(self):
+        assert ForwardedRequestQueue(4).peek() is None
+
+    def test_no_merging_of_same_block(self):
+        # the paper deliberately does NOT merge FRQ entries (only 4.8%
+        # of entries share a block and merging needs NoC multicast)
+        q = ForwardedRequestQueue(4)
+        q.push(1, 0x10, 0)
+        q.push(2, 0x10, 0)
+        assert len(q) == 2
+
+    def test_stats_tracking(self):
+        q = ForwardedRequestQueue(8)
+        for i in range(5):
+            q.push(i, i, 0)
+        q.pop()
+        q.push(9, 9, 1)
+        assert q.total_enqueued == 6
+        assert q.peak == 5
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ForwardedRequestQueue(0)
+
+    def test_paper_default_is_8_entries(self):
+        from repro.config import baseline_config
+        assert baseline_config().gpu_l1.frq_entries == 8

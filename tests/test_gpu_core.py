@@ -1,0 +1,227 @@
+"""Tests for the GPU SM core model, the FRQ and delegated-reply handling."""
+
+import pytest
+
+from repro.config import realistic_probing_config
+from repro.core.realistic_probing import ProbeEngine
+from repro.gpu.core import GpuCore
+from repro.gpu.shared_l1 import PrivateL1
+from repro.mem.address import AddressMap
+from repro.noc import MeshTopology, MessageType, NocFabric, Packet, TrafficClass
+from repro.noc.packet import NetKind
+from repro.workloads.gpu import GpuTraceGenerator, SharedWavefront, gpu_benchmark
+
+from conftest import small_config
+
+
+class Harness:
+    """A single GPU core wired to a real fabric (no other endpoints)."""
+
+    def __init__(self, cfg=None, probing=False, node=15, bench="HS"):
+        self.cfg = cfg or small_config()
+        topo = MeshTopology(self.cfg.mesh_width, self.cfg.mesh_height)
+        self.fabric = NocFabric(topo, self.cfg.noc, mem_nodes=(4,))
+        profile = gpu_benchmark(bench)
+        trace = GpuTraceGenerator(profile, 0, SharedWavefront(profile))
+        engine = None
+        if probing:
+            engine = ProbeEngine(self.cfg.probing, node, [node, 14, 13, 12])
+        self.core = GpuCore(
+            node_id=node,
+            core_index=0,
+            cfg=self.cfg,
+            l1=PrivateL1(self.cfg.gpu_l1),
+            trace=trace,
+            nic=self.fabric.nic(node),
+            addr_map=AddressMap((4,)),
+            probe_engine=engine,
+        )
+        self.mem_seen = []
+        self.fabric.nic(4).handler = lambda pkt, cyc: self.mem_seen.append(pkt)
+
+    def run(self, cycles, start=0):
+        for cyc in range(start, start + cycles):
+            self.core.step(cyc)
+            self.fabric.step(cyc)
+
+    def deliver(self, pkt, cycle=0):
+        self.core.on_packet(pkt, cycle)
+
+
+class TestIssueAndMiss:
+    def test_cold_misses_reach_memory_node(self):
+        h = Harness()
+        h.run(100)
+        assert any(p.mtype is MessageType.READ_REQ for p in h.mem_seen)
+        assert h.core.stats.l1_miss_ops > 0
+
+    def test_mshr_bounds_outstanding_misses(self):
+        h = Harness()
+        h.run(400)
+        assert len(h.core.mshrs) <= h.cfg.gpu_l1.mshrs
+
+    def test_fill_wakes_warp_and_counts_insts(self):
+        h = Harness()
+        h.run(50)
+        block = next(iter(h.core.mshrs.outstanding_blocks()))
+        before = h.core.stats.insts
+        h.deliver(
+            Packet(4, 15, MessageType.READ_REPLY, TrafficClass.GPU, 9,
+                   block=block),
+            cycle=60,
+        )
+        assert h.core.stats.insts > before
+        assert h.core.l1.contains(block)
+        assert not h.core.mshrs.has(block)
+
+    def test_writes_emit_write_through_and_ack_retires(self):
+        h = Harness(bench="BP")  # write-heavy
+        h.run(300)
+        writes = [p for p in h.mem_seen if p.mtype is MessageType.WRITE_REQ]
+        assert writes
+        assert writes[0].size_flits == 9  # data-carrying write
+        outstanding = h.core.outstanding_writes
+        h.deliver(
+            Packet(4, 15, MessageType.WRITE_ACK, TrafficClass.GPU, 1,
+                   block=writes[0].block)
+        )
+        assert h.core.outstanding_writes == outstanding - 1
+
+
+class TestFrq:
+    def test_remote_hit_sends_c2c_reply(self):
+        h = Harness()
+        h.core.l1.fill(0xABC)
+        h.deliver(
+            Packet(4, 15, MessageType.DELEGATED_REQ, TrafficClass.GPU, 1,
+                   block=0xABC, requester=9)
+        )
+        h.run(50, start=10)
+        assert h.core.stats.frq_remote_hits == 1
+        # the C2C reply was queued towards core 9 on the reply network
+        sent = h.core.nic.packets_sent_net[NetKind.REPLY]
+        assert sent >= 1
+
+    def test_remote_miss_resends_dnf_to_llc(self):
+        h = Harness()
+        h.deliver(
+            Packet(4, 15, MessageType.DELEGATED_REQ, TrafficClass.GPU, 1,
+                   block=0xDEAD, requester=9)
+        )
+        h.run(80, start=10)
+        assert h.core.stats.frq_remote_misses == 1
+        dnf = [p for p in h.mem_seen if p.mtype is MessageType.DNF_REQ]
+        assert len(dnf) == 1
+        assert dnf[0].dnf
+        assert dnf[0].requester == 9  # original requester preserved
+
+    def test_delayed_hit_serves_after_fill(self):
+        h = Harness()
+        h.run(50)  # creates outstanding misses
+        block = next(iter(h.core.mshrs.outstanding_blocks()))
+        h.deliver(
+            Packet(4, 15, MessageType.DELEGATED_REQ, TrafficClass.GPU, 1,
+                   block=block, requester=9),
+            cycle=50,
+        )
+        h.run(20, start=50)
+        assert h.core.stats.frq_delayed_hits == 1
+        # fill arrives -> C2C reply to core 9 gets queued
+        h.deliver(
+            Packet(4, 15, MessageType.READ_REPLY, TrafficClass.GPU, 9,
+                   block=block),
+            cycle=80,
+        )
+        assert any(dst == 9 for dst, _ in list(h.core._c2c_out))
+
+    def test_full_frq_refuses_ejection(self):
+        h = Harness()
+        for i in range(h.cfg.gpu_l1.frq_entries):
+            assert h.core.frq.push(9, 0x1000 + i, 0)
+        pkt = Packet(4, 15, MessageType.DELEGATED_REQ, TrafficClass.GPU, 1,
+                     block=0x2000, requester=9)
+        assert not h.core.nic.can_eject(pkt)
+        # data replies are still accepted
+        rep = Packet(4, 15, MessageType.READ_REPLY, TrafficClass.GPU, 9,
+                     block=0x2000)
+        assert h.core.nic.can_eject(rep)
+
+    def test_remote_requests_never_allocate_mshrs(self):
+        # Section IV deadlock avoidance: the remote miss path must not
+        # depend on local MSHR availability
+        h = Harness()
+        h.core.stall_until = 10_000  # no local issue interference
+        h.deliver(
+            Packet(4, 15, MessageType.DELEGATED_REQ, TrafficClass.GPU, 1,
+                   block=0xBEEF, requester=9)
+        )
+        h.run(30, start=5)
+        assert len(h.core.mshrs) == 0
+        assert h.core.stats.frq_remote_misses == 1
+
+
+class TestProbing:
+    def test_probe_request_inflation(self):
+        cfg = small_config()
+        cfg.probing.enabled = True
+        h = Harness(cfg=cfg, probing=True)
+        h.run(300)
+        probes = [p for p in h.mem_seen if p.mtype is MessageType.PROBE_REQ]
+        # probes go to other cores, not the memory node
+        assert not probes
+        assert h.core.probe.stats.probes_sent > 0
+
+    def test_probe_hit_served_from_l1(self):
+        cfg = small_config()
+        h = Harness(cfg=cfg, probing=True)
+        h.core.l1.fill(0x77)
+        h.deliver(
+            Packet(14, 15, MessageType.PROBE_REQ, TrafficClass.GPU, 1,
+                   block=0x77, requester=14)
+        )
+        h.run(10, start=1)
+        assert h.core.stats.probe_hits_served == 1
+
+    def test_probe_miss_nacks(self):
+        h = Harness(probing=True)
+        h.deliver(
+            Packet(14, 15, MessageType.PROBE_REQ, TrafficClass.GPU, 1,
+                   block=0x5555, requester=14)
+        )
+        h.run(10, start=1)
+        assert any(True for _ in h.core._nack_out) or \
+            h.core.nic.packets_sent_net[NetKind.REPLY] >= 1
+
+    def test_all_nacks_fall_back_to_llc(self):
+        h = Harness(probing=True)
+        engine = h.core.probe
+        engine.begin(0x99, 2)
+        h.core.mshrs.allocate(0x99, ("local", 0))
+        h.deliver(Packet(14, 15, MessageType.PROBE_NACK, TrafficClass.GPU, 1,
+                         block=0x99))
+        assert engine.is_probing(0x99)
+        h.deliver(Packet(13, 15, MessageType.PROBE_NACK, TrafficClass.GPU, 1,
+                         block=0x99))
+        assert not engine.is_probing(0x99)
+        h.run(50, start=5)
+        fallback = [p for p in h.mem_seen if p.mtype is MessageType.READ_REQ
+                    and p.block == 0x99]
+        assert len(fallback) == 1
+
+
+class TestFlush:
+    def test_flush_empties_l1(self):
+        h = Harness()
+        h.core.l1.fill(1)
+        h.core.l1.fill(2)
+        assert h.core.flush_l1() == 2
+        assert not h.core.l1.contains(1)
+        assert h.core.stats.flushes == 1
+
+    def test_stall_until_pauses_issue(self):
+        h = Harness()
+        h.core.stall_until = 100
+        h.run(50)
+        assert h.core.stats.mem_ops == 0
+        h.run(100, start=100)
+        assert h.core.stats.mem_ops > 0

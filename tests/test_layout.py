@@ -1,0 +1,114 @@
+"""Tests for the chip layouts of Figure 1."""
+
+import pytest
+
+from repro.config import (
+    DimensionOrder,
+    Layout,
+    baseline_config,
+)
+from repro.sim.layout import (
+    DEFAULT_ORDERS,
+    apply_default_orders,
+    build_layout,
+)
+
+from conftest import small_config
+
+
+class TestBaselineLayout:
+    def test_counts(self):
+        p = build_layout(baseline_config())
+        assert len(p.cpu_nodes) == 16
+        assert len(p.mem_nodes) == 8
+        assert len(p.gpu_nodes) == 40
+
+    def test_nodes_partition_the_grid(self):
+        p = build_layout(baseline_config())
+        all_nodes = set(p.cpu_nodes) | set(p.mem_nodes) | set(p.gpu_nodes)
+        assert all_nodes == set(range(64))
+        assert len(p.cpu_nodes) + len(p.mem_nodes) + len(p.gpu_nodes) == 64
+
+    def test_memory_column_between_cpus_and_gpus(self):
+        # Fig. 1a: CPU columns 0-1, memory column 2, GPU columns 3-7
+        p = build_layout(baseline_config())
+        assert all(n % 8 in (0, 1) for n in p.cpu_nodes)
+        assert all(n % 8 == 2 for n in p.mem_nodes)
+        assert all(n % 8 >= 3 for n in p.gpu_nodes)
+
+    def test_role_of(self):
+        p = build_layout(baseline_config())
+        assert p.role_of(p.mem_nodes[0]) == "mem"
+        assert p.role_of(p.cpu_nodes[0]) == "cpu"
+        assert p.role_of(p.gpu_nodes[0]) == "gpu"
+
+
+class TestAlternativeLayouts:
+    def test_edge_puts_memory_in_top_row(self):
+        p = build_layout(baseline_config(layout=Layout.EDGE))
+        assert all(n < 8 for n in p.mem_nodes)  # row 0
+
+    def test_clustered_cpus_are_compact(self):
+        p = build_layout(baseline_config(layout=Layout.CLUSTERED))
+        # 16 CPUs in a 4x4 corner: max coordinate 3
+        assert all(n % 8 <= 3 and n // 8 <= 3 for n in p.cpu_nodes)
+
+    def test_distributed_memory_is_spread(self):
+        p = build_layout(baseline_config(layout=Layout.DISTRIBUTED))
+        rows = {n // 8 for n in p.mem_nodes}
+        cols = {n % 8 for n in p.mem_nodes}
+        assert len(rows) >= 3 and len(cols) >= 3
+
+    @pytest.mark.parametrize("layout", list(Layout))
+    def test_all_layouts_partition(self, layout):
+        p = build_layout(baseline_config(layout=layout))
+        nodes = list(p.cpu_nodes) + list(p.mem_nodes) + list(p.gpu_nodes)
+        assert sorted(nodes) == list(range(64))
+
+
+class TestNodeMixFlexibility:
+    @pytest.mark.parametrize(
+        "n_cpu,n_gpu,n_mem",
+        [(8, 48, 8), (24, 32, 8), (8, 52, 4), (8, 40, 16)],
+    )
+    def test_baseline_layout_handles_node_mixes(self, n_cpu, n_gpu, n_mem):
+        cfg = baseline_config(n_cpu=n_cpu, n_gpu=n_gpu, n_mem=n_mem)
+        p = build_layout(cfg)
+        assert len(p.cpu_nodes) == n_cpu
+        assert len(p.mem_nodes) == n_mem
+        assert len(p.gpu_nodes) == n_gpu
+
+    def test_small_mesh_layout(self):
+        p = build_layout(small_config())
+        assert len(p.cpu_nodes) == 4
+        assert len(p.mem_nodes) == 2
+        assert len(p.gpu_nodes) == 10
+
+    @pytest.mark.parametrize("side,n_cpu,n_mem", [(10, 25, 12), (12, 36, 18)])
+    def test_scaled_meshes(self, side, n_cpu, n_mem):
+        n = side * side
+        cfg = baseline_config(
+            mesh_width=side, mesh_height=side,
+            n_cpu=n_cpu, n_mem=n_mem, n_gpu=n - n_cpu - n_mem,
+        )
+        p = build_layout(cfg)
+        assert len(p.gpu_nodes) == n - n_cpu - n_mem
+
+
+class TestRoutingOrders:
+    def test_section_v_defaults(self):
+        assert DEFAULT_ORDERS[Layout.BASELINE] == (
+            DimensionOrder.YX, DimensionOrder.XY,
+        )
+        assert DEFAULT_ORDERS[Layout.EDGE] == (
+            DimensionOrder.XY, DimensionOrder.YX,
+        )
+        assert DEFAULT_ORDERS[Layout.DISTRIBUTED] == (
+            DimensionOrder.XY, DimensionOrder.XY,
+        )
+
+    def test_apply_default_orders_mutates_config(self):
+        cfg = baseline_config(layout=Layout.EDGE)
+        apply_default_orders(cfg)
+        assert cfg.noc.request_order is DimensionOrder.XY
+        assert cfg.noc.reply_order is DimensionOrder.YX

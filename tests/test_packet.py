@@ -1,0 +1,84 @@
+"""Tests for packets and message-type/network mapping."""
+
+import pytest
+
+from repro.noc.packet import (
+    MessageType,
+    NetKind,
+    Packet,
+    REQUEST_NET_TYPES,
+    TrafficClass,
+)
+
+
+def mk(mtype, flits=1, **kw):
+    return Packet(0, 1, mtype, TrafficClass.GPU, flits, **kw)
+
+
+class TestNetworkAssignment:
+    """Requests and delegated replies ride the request network; data
+    replies, write acks and probe NACKs ride the reply network."""
+
+    @pytest.mark.parametrize(
+        "mtype",
+        [
+            MessageType.READ_REQ,
+            MessageType.WRITE_REQ,
+            MessageType.DELEGATED_REQ,
+            MessageType.DNF_REQ,
+            MessageType.PROBE_REQ,
+        ],
+    )
+    def test_request_network_types(self, mtype):
+        assert mk(mtype).net is NetKind.REQUEST
+        assert mtype in REQUEST_NET_TYPES
+
+    @pytest.mark.parametrize(
+        "mtype",
+        [
+            MessageType.READ_REPLY,
+            MessageType.WRITE_ACK,
+            MessageType.C2C_REPLY,
+            MessageType.PROBE_NACK,
+        ],
+    )
+    def test_reply_network_types(self, mtype):
+        assert mk(mtype).net is NetKind.REPLY
+
+
+class TestPacketInvariants:
+    def test_zero_flits_rejected(self):
+        with pytest.raises(ValueError):
+            mk(MessageType.READ_REQ, flits=0)
+
+    def test_self_send_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(3, 3, MessageType.READ_REQ, TrafficClass.GPU, 1)
+
+    def test_requester_defaults_to_src(self):
+        assert mk(MessageType.READ_REQ).requester == 0
+
+    def test_delegated_request_encodes_requester(self):
+        # Section IV: delegated replies carry the requesting core as sender
+        pkt = Packet(
+            5, 9, MessageType.DELEGATED_REQ, TrafficClass.GPU, 1, requester=7
+        )
+        assert pkt.src == 5 and pkt.requester == 7
+
+    def test_latency_requires_delivery(self):
+        pkt = mk(MessageType.READ_REQ)
+        with pytest.raises(ValueError):
+            _ = pkt.latency
+        pkt.created = 10
+        pkt.delivered = 35
+        assert pkt.latency == 25
+
+    def test_ids_are_unique_and_monotonic(self):
+        a, b = mk(MessageType.READ_REQ), mk(MessageType.READ_REQ)
+        assert b.pid > a.pid
+
+    def test_cpu_class_outranks_gpu_in_sort(self):
+        assert TrafficClass.CPU < TrafficClass.GPU
+
+    def test_dnf_defaults_false(self):
+        assert not mk(MessageType.READ_REQ).dnf

@@ -1,0 +1,122 @@
+"""Tests for the Netrace-style CPU trace file format and replayer."""
+
+import pytest
+
+from repro.cpu.trace_file import (
+    TraceRecord,
+    TraceReplayer,
+    capture_trace,
+    iter_trace,
+    read_trace,
+    write_trace,
+)
+from repro.workloads.cpu import cpu_benchmark
+
+
+class TestRecordFormat:
+    def test_json_roundtrip(self):
+        rec = TraceRecord(rid=5, block=0x1234, gap=7, dep=4)
+        assert TraceRecord.from_json(rec.to_json()) == rec
+
+    def test_dep_omitted_when_none(self):
+        rec = TraceRecord(rid=0, block=1, gap=2)
+        assert "dep" not in rec.to_json()
+        assert TraceRecord.from_json(rec.to_json()).dep is None
+
+    def test_forward_dependency_rejected(self):
+        bad = TraceRecord(rid=3, block=1, gap=2, dep=7).to_json()
+        with pytest.raises(ValueError, match="later record"):
+            TraceRecord.from_json(bad)
+
+
+class TestCapture:
+    def test_capture_length_and_monotonic_ids(self):
+        records = capture_trace(cpu_benchmark("vips"), 0, 200)
+        assert len(records) == 200
+        assert [r.rid for r in records] == list(range(200))
+
+    def test_dependencies_are_backward_only(self):
+        records = capture_trace(cpu_benchmark("canneal"), 0, 300)
+        for r in records:
+            if r.dep is not None:
+                assert r.dep < r.rid
+
+    def test_dep_density_tracks_profile(self):
+        sensitive = capture_trace(cpu_benchmark("vips"), 0, 1000)
+        insensitive = capture_trace(cpu_benchmark("dedup"), 0, 1000)
+        dep = lambda rs: sum(r.dep is not None for r in rs)
+        assert dep(sensitive) > 2 * dep(insensitive)
+
+    def test_capture_is_deterministic(self):
+        a = capture_trace(cpu_benchmark("vips"), 1, 100, seed=9)
+        b = capture_trace(cpu_benchmark("vips"), 1, 100, seed=9)
+        assert a == b
+
+
+class TestFileIo:
+    def test_write_read_roundtrip(self, tmp_path):
+        records = capture_trace(cpu_benchmark("ferret"), 2, 150)
+        path = tmp_path / "ferret.trace"
+        write_trace(records, path)
+        assert read_trace(path) == records
+
+    def test_streaming_iteration(self, tmp_path):
+        records = capture_trace(cpu_benchmark("ferret"), 2, 50)
+        path = tmp_path / "t.trace"
+        write_trace(records, path)
+        assert list(iter_trace(path)) == records
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text('{"id":0,"block":1,"gap":2}\n\n{"id":1,"block":2,"gap":2}\n')
+        assert len(read_trace(path)) == 2
+
+
+class TestReplayer:
+    def test_replayer_drives_a_cpu_core(self):
+        """The replayer is a drop-in generator for CpuCore."""
+        from repro.cpu.core import CpuCore
+        from repro.mem.address import AddressMap
+        from repro.noc import MeshTopology, NocFabric
+
+        import sys
+        sys.path.insert(0, "tests")
+        from conftest import small_config
+
+        profile = cpu_benchmark("vips")
+        records = capture_trace(profile, 0, 500)
+        replayer = TraceReplayer(records, profile)
+        cfg = small_config()
+        fabric = NocFabric(MeshTopology(4, 4), cfg.noc, mem_nodes=(4,))
+        core = CpuCore(0, 0, cfg, replayer, fabric.nic(0), AddressMap((4,)))
+        seen = []
+        fabric.nic(4).handler = lambda pkt, cyc: seen.append(pkt)
+        for cyc in range(600):
+            core.step(cyc)
+            fabric.step(cyc)
+        assert seen, "trace replay produced no network traffic"
+        assert {p.block for p in seen} <= {r.block for r in records}
+
+    def test_replayer_loops(self):
+        profile = cpu_benchmark("dedup")
+        records = capture_trace(profile, 0, 3)
+        rep = TraceReplayer(records, profile)
+        blocks = [rep.next_access()[0] for _ in range(7)]
+        assert blocks[:3] == blocks[3:6]
+        assert rep.replays == 2
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            TraceReplayer([], cpu_benchmark("vips"))
+
+    def test_dependency_reported_per_record(self):
+        profile = cpu_benchmark("vips")
+        records = [
+            TraceRecord(0, 10, 2),
+            TraceRecord(1, 11, 2, dep=0),
+        ]
+        rep = TraceReplayer(records, profile)
+        rep.next_access()
+        assert not rep.is_dependent()
+        rep.next_access()
+        assert rep.is_dependent()

@@ -1,0 +1,177 @@
+"""Tests for the synthetic workload generators and Table II mixes."""
+
+import pytest
+
+from repro.workloads import (
+    CPU_BENCHMARKS,
+    GPU_BENCHMARKS,
+    CpuTraceGenerator,
+    GpuTraceGenerator,
+    SharedWavefront,
+    TABLE_II,
+    cpu_benchmark,
+    gpu_benchmark,
+    mixes_for_gpu,
+    workload_mixes,
+)
+from repro.workloads.gpu import _PRIVATE_REGION, _SHARED_REGION
+
+
+class TestTableII:
+    def test_eleven_gpu_benchmarks(self):
+        assert len(GPU_BENCHMARKS) == 11
+        assert set(TABLE_II) == set(GPU_BENCHMARKS)
+
+    def test_thirty_three_mixes(self):
+        assert len(workload_mixes()) == 33
+
+    def test_each_gpu_bench_has_three_corunners(self):
+        for gpu, cpus in TABLE_II.items():
+            assert len(cpus) == 3
+            for c in cpus:
+                assert c in CPU_BENCHMARKS
+
+    def test_table_ii_rows_match_paper(self):
+        assert TABLE_II["HS"] == ("bodytrack", "ferret", "x264")
+        assert TABLE_II["BP"] == ("blackscholes", "bodytrack", "ferret")
+        assert TABLE_II["2DCON"] == ("blackscholes", "canneal", "dedup")
+
+    def test_grid_dims_match_paper(self):
+        assert gpu_benchmark("HS").grid_dim == (342, 342, 1)
+        assert gpu_benchmark("BP").grid_dim == (1, 16384, 1)
+        assert gpu_benchmark("MM").grid_dim == (1000, 2000, 1)
+
+    def test_lookup_is_case_insensitive(self):
+        assert gpu_benchmark("hs").name == "HS"
+        assert cpu_benchmark("VIPS").name == "vips"
+
+    def test_unknown_benchmarks_raise(self):
+        with pytest.raises(KeyError):
+            gpu_benchmark("NOPE")
+        with pytest.raises(KeyError):
+            cpu_benchmark("nope")
+
+    def test_mixes_for_gpu(self):
+        mixes = mixes_for_gpu("HS")
+        assert [m.cpu.name for m in mixes] == ["bodytrack", "ferret", "x264"]
+        assert mixes[0].name == "HS+bodytrack"
+
+
+class TestGpuGenerator:
+    def make(self, bench="HS", core=0, seed=42, wavefront=None):
+        profile = gpu_benchmark(bench)
+        wf = wavefront or SharedWavefront(profile)
+        return GpuTraceGenerator(profile, core, wf, seed=seed)
+
+    def test_deterministic_given_seed(self):
+        a = [self.make(seed=7).next_access() for _ in range(1)]
+        g1, g2 = self.make(seed=7), self.make(seed=7)
+        s1 = [g1.next_access() for _ in range(100)]
+        # fresh wavefronts per generator; rebuild both identically
+        g2 = self.make(seed=7)
+        s2 = [g2.next_access() for _ in range(100)]
+        assert s1 == s2
+
+    def test_different_cores_differ(self):
+        profile = gpu_benchmark("HS")
+        wf = SharedWavefront(profile)
+        g0 = GpuTraceGenerator(profile, 0, wf)
+        g1 = GpuTraceGenerator(profile, 1, wf)
+        s0 = [g0.next_access()[0] for _ in range(50)]
+        s1 = [g1.next_access()[0] for _ in range(50)]
+        assert s0 != s1
+
+    def test_addresses_live_in_their_regions(self):
+        g = self.make()
+        for _ in range(500):
+            block, _ = g.next_access()
+            assert block >= _SHARED_REGION
+
+    def test_private_blocks_disjoint_across_cores(self):
+        profile = gpu_benchmark("SC")  # mostly private
+        wf = SharedWavefront(profile)
+        gens = [GpuTraceGenerator(profile, c, wf) for c in range(4)]
+        privates = [set() for _ in gens]
+        for g, seen in zip(gens, privates):
+            for _ in range(400):
+                b, _ = g.next_access()
+                if b >= _PRIVATE_REGION:
+                    seen.add(b)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not (privates[i] & privates[j])
+
+    def test_write_fraction_tracks_profile(self):
+        g = self.make(bench="BP")
+        writes = sum(g.next_access()[1] for _ in range(4000))
+        frac = writes / 4000
+        assert 0.25 < frac < 0.55  # profile says 0.42
+
+    def test_read_only_shared_data(self):
+        # non-BP benchmarks never write the shared region
+        g = self.make(bench="HS")
+        for _ in range(2000):
+            block, is_write = g.next_access()
+            if _SHARED_REGION <= block < _PRIVATE_REGION:
+                assert not is_write
+
+    def test_wavefront_creates_overlap(self):
+        """Cores sampling the wavefront around the same time see the same
+        blocks — the source of inter-core locality (Fig. 2)."""
+        profile = gpu_benchmark("HS")
+        wf = SharedWavefront(profile)
+        g0 = GpuTraceGenerator(profile, 0, wf)
+        g1 = GpuTraceGenerator(profile, 1, wf)
+        s0, s1 = set(), set()
+        for _ in range(300):
+            b0, _ = g0.next_access()
+            b1, _ = g1.next_access()
+            if b0 < _PRIVATE_REGION:
+                s0.add(b0)
+            if b1 < _PRIVATE_REGION:
+                s1.add(b1)
+        overlap = len(s0 & s1) / max(1, min(len(s0), len(s1)))
+        assert overlap > 0.3
+
+    def test_lag_produces_old_blocks(self):
+        profile = gpu_benchmark("3DCON")
+        assert profile.p_lag > 0
+        wf = SharedWavefront(profile)
+        g = GpuTraceGenerator(profile, 0, wf)
+        for _ in range(2000):
+            g.next_access()
+        # the wavefront advanced well past its lag distance
+        assert wf.pos > profile.lag_distance / 2
+
+
+class TestCpuGenerator:
+    def test_reads_only(self):
+        g = CpuTraceGenerator(cpu_benchmark("vips"), 0)
+        assert all(not g.next_access()[1] for _ in range(200))
+
+    def test_deterministic(self):
+        g1 = CpuTraceGenerator(cpu_benchmark("dedup"), 3, seed=5)
+        g2 = CpuTraceGenerator(cpu_benchmark("dedup"), 3, seed=5)
+        assert [g1.next_access() for _ in range(100)] == [
+            g2.next_access() for _ in range(100)
+        ]
+
+    def test_cores_have_disjoint_footprints(self):
+        a = CpuTraceGenerator(cpu_benchmark("vips"), 0)
+        b = CpuTraceGenerator(cpu_benchmark("vips"), 1)
+        sa = {a.next_access()[0] for _ in range(500)}
+        sb = {b.next_access()[0] for _ in range(500)}
+        assert not (sa & sb)
+
+    def test_dependency_fraction_ordering(self):
+        # vips is the most latency-sensitive, dedup the least (Fig. 13)
+        assert (
+            cpu_benchmark("vips").dep_fraction
+            > cpu_benchmark("bodytrack").dep_fraction
+            > cpu_benchmark("dedup").dep_fraction
+        )
+
+    def test_reuse_produces_locality(self):
+        g = CpuTraceGenerator(cpu_benchmark("swaptions"), 0)
+        blocks = [g.next_access()[0] for _ in range(1000)]
+        assert len(set(blocks)) < 700  # substantial reuse
