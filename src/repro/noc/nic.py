@@ -73,7 +73,8 @@ class NodeInterface:
         """Queue ``pkt`` for injection; False if the queue is full."""
         if not self.can_enqueue(pkt.net):
             return False
-        pkt.created = cycle if pkt.created == 0 else pkt.created
+        if pkt.created < 0:
+            pkt.created = cycle
         self.queues[pkt.net].append(pkt)
         self.packets_sent_net[pkt.net] += 1
         return True
@@ -234,10 +235,12 @@ class MemoryNodeNic(NodeInterface):
         return q[0]
 
     def inject_step(self, cycle: int) -> None:
-        reply_router = self.fabric.router_for(self.node_id, NetKind.REPLY)
-        before = self.flits_injected
+        # the delegation trigger must observe *reply-network* progress only:
+        # a cycle where a delegated 1-flit request injects while the reply
+        # router refuses every flit is exactly the "blocked" case of Fig. 4.
+        before = self.flits_injected_net[NetKind.REPLY]
         super().inject_step(cycle)
-        replies_moved = self.flits_injected > before
+        replies_moved = self.flits_injected_net[NetKind.REPLY] > before
         self._maybe_delegate(cycle, replies_moved)
         self.observed_cycles += 1
         if not self.can_enqueue(NetKind.REPLY):
@@ -267,6 +270,9 @@ class MemoryNodeNic(NodeInterface):
             if not self.can_enqueue(NetKind.REQUEST):
                 break  # request path full; keep the reply
             queue.remove(pkt)
+            # the reply never enters the reply network: undo its enqueue-time
+            # accounting so noc.rep_packets counts actual reply traffic
+            self.packets_sent_net[NetKind.REPLY] -= 1
             self.queues[NetKind.REQUEST].append(delegated)
             self.packets_sent_net[NetKind.REQUEST] += 1
             self.delegations += 1

@@ -82,7 +82,9 @@ class Packet:
         txn: opaque transaction handle threaded through the protocol so
             endpoints can match replies to outstanding requests.
         dnf: the Do-Not-Forward bit (Section IV).
-        created / injected / delivered: cycle timestamps for latency stats.
+        created / injected / delivered: cycle timestamps for latency stats;
+            -1 means "not yet set" (the NIC stamps ``created`` on the first
+            successful ``try_send`` when the creator did not).
         hops: routers traversed, used by the energy model.
     """
 
@@ -115,7 +117,7 @@ class Packet:
         requester: Optional[int] = None,
         txn: object = None,
         dnf: bool = False,
-        created: int = 0,
+        created: int = -1,
     ) -> None:
         if size_flits < 1:
             raise ValueError("a packet is at least one (header) flit")

@@ -114,6 +114,43 @@ class TestDelegationTrigger:
         nic.inject_step(0)
         assert nic.delegations <= 1
 
+    def test_request_injection_does_not_mask_blocked_reply_path(self):
+        # Regression: the trigger must watch the *reply* network only.  A
+        # cycle where a 1-flit request injects fine while the reply router
+        # refuses every flit is still a blocked reply path (Figure 4).
+        fab, nic, made = self._nic_with_policy(buffer_flits=36)
+        router = fab.router_for(5, NetKind.REPLY)
+        for vc in range(router.vcs):  # reply router full: no reply can inject
+            router.occ[0][vc] = router.vc_cap
+        nic.try_send(reply(5, 0, meta=ReplyMeta(True, delegate_to=9)), 0)
+        nic.try_send(
+            Packet(5, 0, MessageType.READ_REQ, TrafficClass.GPU, 1), 0
+        )
+        nic.inject_step(0)
+        assert nic.flits_injected_net[NetKind.REQUEST] == 1
+        assert nic.flits_injected_net[NetKind.REPLY] == 0
+        assert nic.delegations == 1
+
+    def test_delegation_moves_packet_accounting_between_networks(self):
+        # Regression: converting a queued reply into a delegated request
+        # must also move its packets_sent accounting, else noc.rep_packets
+        # overcounts by exactly the number of delegations.
+        fab, nic, made = self._nic_with_policy(buffer_flits=27)
+        for i in range(3):
+            nic.try_send(reply(5, i, meta=ReplyMeta(True, delegate_to=9 + i)), 0)
+        sent_rep = nic.packets_sent_net[NetKind.REPLY]
+        sent_req = nic.packets_sent_net[NetKind.REQUEST]
+        assert sent_rep == 3
+        nic.inject_step(0)
+        assert nic.delegations >= 1
+        assert (
+            nic.packets_sent_net[NetKind.REPLY] == sent_rep - nic.delegations
+        )
+        assert (
+            nic.packets_sent_net[NetKind.REQUEST]
+            == sent_req + nic.delegations
+        )
+
     def test_non_delegatable_replies_stay(self):
         fab, nic, made = self._nic_with_policy(buffer_flits=27)
         for i in range(3):
@@ -128,6 +165,24 @@ class TestDelegationTrigger:
         nic.try_send(reply(5, 1, meta=ReplyMeta(True, delegate_to=9)), 0)
         nic.inject_step(0)
         assert nic.delegations >= 1
+
+
+class TestCreatedTimestamp:
+    def test_cycle_zero_creation_survives_retried_send(self):
+        # Regression: created == 0 is a real timestamp, not the "unset"
+        # sentinel; a retried send must not re-stamp it.
+        fab = make_fabric()
+        pkt = Packet(0, 15, MessageType.READ_REQ, TrafficClass.GPU, 1,
+                     created=0)
+        assert fab.nic(0).try_send(pkt, 7)
+        assert pkt.created == 0
+
+    def test_unset_created_is_stamped_on_first_send(self):
+        fab = make_fabric()
+        pkt = Packet(0, 15, MessageType.READ_REQ, TrafficClass.GPU, 1)
+        assert pkt.created == -1
+        assert fab.nic(0).try_send(pkt, 7)
+        assert pkt.created == 7
 
 
 class TestEjectGate:
