@@ -10,11 +10,12 @@ them on the right physical network and VC range.
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.config.system import NocConfig
 from repro.noc.nic import MemoryNodeNic, NodeInterface
-from repro.noc.packet import NetKind, Packet, TrafficClass
+from repro.noc.packet import NetKind, Packet
 from repro.noc.router import LOCAL_PORT, Router
 from repro.noc.routing import RoutingAlgorithm, build_routing
 from repro.noc.topology import BaseTopology
@@ -59,12 +60,15 @@ class PhysicalNetwork:
             self._port_of.append(
                 {nb: 1 + i for i, nb in enumerate(neighbors)}
             )
-        # wire downstream pointers
+        # wire downstream pointers (and the reverse upstream pointers the
+        # drain-wake credit events need)
         for rid in range(n):
             router = self.routers[rid]
             for nb, port in self._port_of[rid].items():
                 down = self.routers[nb]
-                router.downstream[port] = (down, self._port_of[nb][rid])
+                dport = self._port_of[nb][rid]
+                router.downstream[port] = (down, dport)
+                down.upstream[dport] = router
         #: flits moved per directed link, indexed [rid][oport]
         self.link_flits: List[List[int]] = [
             [0] * r.nports for r in self.routers
@@ -74,17 +78,68 @@ class PhysicalNetwork:
         self.cycles = 0
         #: delivered packet counts per message type (int value of MessageType)
         self.delivered_by_type: Dict[int, int] = {}
+        # -- active-set scheduling state --------------------------------
+        #: routers that must be arbitrated this cycle (exact, not a scan)
+        self._active_ids: set = set()
+        #: min-heap of (cycle, rid) wake-ups for routers sleeping through
+        #: a known pipeline dwell
+        self._wakes: List[Tuple[int, int]] = []
+        #: working min-heap of rids during a step; activations behind the
+        #: cursor wait for the next cycle, exactly like the full scan
+        self._heap: List[int] = []
+        self._cursor = -1
+        #: True restores the naive scan-every-router reference stepping
+        #: (the equivalence tests compare both modes counter-for-counter)
+        self.full_scan = False
+        self._build_route_tables()
+
+    # -- routing tables -------------------------------------------------
+
+    def _build_route_tables(self) -> None:
+        """Precompute per-(router, destination) output ports for the two
+        dimension orders in use.
+
+        ``_dor_tables[net_kind][rid][dst]`` is the port a dimension-order
+        hop takes (``LOCAL_PORT`` when ``dst == rid``); the escape-VC check
+        always uses it.  When the configured policy is deterministic (CDR)
+        the same tables back ``route`` directly, turning the per-flit
+        topology walk into two list lookups.
+        """
+        topo, cfg = self.topology, self.cfg
+        n = topo.n
+        per_order: Dict[object, List[List[int]]] = {}
+        for order in {cfg.request_order, cfg.reply_order}:
+            tbl = []
+            for rid in range(n):
+                port_of = self._port_of[rid]
+                row = [LOCAL_PORT] * n
+                for dst in range(n):
+                    if dst != rid:
+                        row[dst] = port_of[topo.route_next(rid, dst, order)]
+                tbl.append(row)
+            per_order[order] = tbl
+        self._dor_tables: Optional[Dict[NetKind, List[List[int]]]] = {
+            NetKind.REQUEST: per_order[cfg.request_order],
+            NetKind.REPLY: per_order[cfg.reply_order],
+        }
+        self._det_tables = None if self.routing.adaptive else self._dor_tables
 
     # -- hooks used by routers -----------------------------------------
 
     def route(self, router: Router, pkt: Packet) -> int:
         """Output port for ``pkt`` at ``router`` (LOCAL_PORT = ejection)."""
+        tables = self._det_tables
+        if tables is not None:
+            return tables[pkt.net][router.rid][pkt.dst]
         if pkt.dst == router.rid:
             return LOCAL_PORT
         nxt = self.routing.next_hop(self, router.rid, pkt)
         return self._port_of[router.rid][nxt]
 
     def dor_port(self, router: Router, pkt: Packet) -> int:
+        tables = self._dor_tables
+        if tables is not None:
+            return tables[pkt.net][router.rid][pkt.dst]
         if pkt.dst == router.rid:
             return LOCAL_PORT
         nxt = self.routing.dor_next(router.rid, pkt)
@@ -110,11 +165,91 @@ class PhysicalNetwork:
 
     # -- stepping and statistics ----------------------------------------
 
+    def mark_router_active(self, rid: int) -> None:
+        """Schedule a router for arbitration (called on every flit arrival).
+
+        Activations during a step join the current cycle only when the
+        scheduler's cursor has not passed them yet — identical to what a
+        low-to-high full scan would have observed.
+        """
+        ids = self._active_ids
+        if rid not in ids:
+            ids.add(rid)
+            if rid > self._cursor >= 0:
+                heappush(self._heap, rid)
+
+    def schedule_wake(self, at: int, rid: int) -> None:
+        """Arm a timed wake for a sleeping router at cycle ``at``.
+
+        A router keeps at most one armed heap entry at its earliest wake
+        cycle; later wake requests are covered by the armed entry (the
+        woken arbitration pass re-sleeps with the then-earliest cycle).
+        """
+        router = self.routers[rid]
+        armed = router.wake_armed
+        if 0 <= armed <= at:
+            return
+        heappush(self._wakes, (at, rid))
+        router.wake_armed = at
+
     def step(self, cycle: int) -> None:
         self.cycles += 1
-        for router in self.routers:
-            if router.active:
-                router.step(cycle)
+        if self.full_scan:
+            for router in self.routers:
+                if router.active:
+                    router.step(cycle)
+            return
+        ids = self._active_ids
+        wakes = self._wakes
+        routers = self.routers
+        while wakes and wakes[0][0] <= cycle:
+            rid = heappop(wakes)[1]
+            ids.add(rid)
+            routers[rid].wake_armed = -1
+        if not ids:
+            return
+        # scan a sorted snapshot by index; routers woken mid-cycle land on
+        # the (usually empty) ``late`` min-heap and are merged in rid order,
+        # so the visit order is exactly the full scan's low-to-high order
+        if len(ids) == len(routers):
+            order = range(len(routers))  # saturated: all rids, already sorted
+        else:
+            order = sorted(ids)
+        late = self._heap
+        bw1 = self.bandwidth == 1
+        i = 0
+        n = len(order)
+        while True:
+            if late and (i >= n or late[0] < order[i]):
+                rid = heappop(late)
+            elif i < n:
+                rid = order[i]
+                i += 1
+            else:
+                break
+            self._cursor = rid
+            router = routers[rid]
+            if not router.active:
+                ids.discard(rid)
+                continue
+            # single-bandwidth links skip the bandwidth-loop wrapper and
+            # arbitrate directly (same semantics as router.step)
+            moved = (
+                router._arbitrate_once(cycle, self) if bw1 else router.step(cycle)
+            )
+            if not router.active:
+                ids.discard(rid)
+            elif not moved and not router.rescan:
+                # every head worm waits on a future event: sleep until the
+                # earliest pipeline-ready cycle, or until a flit arrives
+                ids.discard(rid)
+                wa = router.wake_at
+                if wa >= 0:
+                    armed = router.wake_armed
+                    if armed < 0 or wa < armed:
+                        heappush(wakes, (wa, rid))
+                        router.wake_armed = wa
+        self._cursor = -1
 
     def link_utilization(self, rid: int, oport: int) -> float:
         """Fraction of cycles the directed link out of ``(rid, oport)``
@@ -187,6 +322,12 @@ class NocFabric:
             self.request_net = shared
             self.reply_net = shared
             self._nets = {NetKind.REQUEST: shared, NetKind.REPLY: shared}
+        #: the distinct physical networks, in deterministic stepping order
+        self._net_list: Tuple[PhysicalNetwork, ...] = (
+            (self.request_net,)
+            if self.request_net is self.reply_net
+            else (self.request_net, self.reply_net)
+        )
         mem_set = set(mem_nodes)
         self.nics: List[NodeInterface] = []
         for node in range(topology.n):
@@ -202,8 +343,14 @@ class NocFabric:
                     node, self, queue_packets=cfg.node_injection_queue_packets
                 )
             self.nics.append(nic)
-        for net in set(self._nets.values()):
+        for net in self._net_list:
             net.nics = self.nics
+        #: NICs with queued or in-flight work; memory-node NICs stay pinned
+        #: because their per-cycle blocked/observed accounting and the
+        #: delegation trigger must run every cycle.
+        self._active_nics: set = set(mem_set)
+        #: True restores the naive inject-every-NIC reference stepping.
+        self.full_scan = False
 
     # -- endpoint API ---------------------------------------------------
 
@@ -218,16 +365,62 @@ class NocFabric:
 
     # -- simulation -----------------------------------------------------
 
+    def mark_nic_active(self, node: int) -> None:
+        """Schedule a NIC for injection stepping (called on enqueue)."""
+        self._active_nics.add(node)
+
+    def wake_node_routers(self, node: int) -> None:
+        """Re-arbitrate ``node``'s local routers (ejection-gate reopened)."""
+        for net in self._net_list:
+            if node not in net._active_ids and net.routers[node].active:
+                net.mark_router_active(node)
+
+    def set_reference_stepping(self, on: bool = True) -> None:
+        """Toggle the naive full-scan reference implementation.
+
+        The optimised scheduler (active router/NIC sets, wake heap, routing
+        tables) must be behaviour-preserving; equivalence tests run the
+        same seeded workload in both modes and assert every counter in
+        ``collect_counters`` is bit-identical.
+        """
+        self.full_scan = on
+        for net in self._net_list:
+            net.full_scan = on
+            if on:
+                net._det_tables = None
+                net._dor_tables = None
+            else:
+                net._build_route_tables()
+
     def step(self, cycle: int) -> None:
         """Advance the fabric one cycle: route flits, then inject."""
-        for net in set(self._nets.values()):
+        for net in self._net_list:
             net.step(cycle)
-        for nic in self.nics:
+        if self.full_scan:
+            for nic in self.nics:
+                nic.inject_step(cycle)
+            return
+        active = self._active_nics
+        if not active:
+            return
+        nics = self.nics
+        if len(active) == 1:
+            # common light-load case: skip the sorted snapshot
+            node = next(iter(active))
+            nic = nics[node]
             nic.inject_step(cycle)
+            if nic.idle():
+                active.discard(node)
+            return
+        for node in sorted(active):
+            nic = nics[node]
+            nic.inject_step(cycle)
+            if nic.idle():
+                active.discard(node)
 
     def in_flight_flits(self) -> int:
         """Flits buffered in routers (conservation checks in tests)."""
-        return sum(net.buffered_flits() for net in set(self._nets.values()))
+        return sum(net.buffered_flits() for net in self._net_list)
 
     def memory_blocking_rates(self) -> Dict[int, float]:
         return {

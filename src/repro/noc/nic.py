@@ -25,6 +25,9 @@ from typing import Callable, Deque, Dict, List, Optional
 from repro.noc.packet import NetKind, Packet, TrafficClass
 from repro.noc.router import LOCAL_PORT
 
+#: both network kinds, in injection order (hoisted off the hot path)
+_NET_KINDS = (NetKind.REQUEST, NetKind.REPLY)
+
 
 class NodeInterface:
     """Injection/ejection interface of a compute (CPU or GPU) node."""
@@ -47,8 +50,9 @@ class NodeInterface:
         #: called with (packet, cycle) when a packet is fully ejected here.
         self.handler: Optional[Callable[[Packet, int], None]] = None
         #: optional admission control for ejection (e.g. a full FRQ refuses
-        #: delegated requests, back-pressuring the request network).
-        self.eject_gate: Optional[Callable[[Packet], bool]] = None
+        #: delegated requests, back-pressuring the request network); see the
+        #: ``eject_gate`` property below.
+        self._eject_gate_fn: Optional[Callable[[Packet], bool]] = None
         self.flits_injected = 0
         self.flits_injected_net: Dict[NetKind, int] = {
             NetKind.REQUEST: 0,
@@ -77,15 +81,37 @@ class NodeInterface:
             pkt.created = cycle
         self.queues[pkt.net].append(pkt)
         self.packets_sent_net[pkt.net] += 1
+        self.fabric.mark_nic_active(self.node_id)
         return True
 
     # -- ejection (called by the network) ------------------------------
 
+    @property
+    def eject_gate(self) -> Optional[Callable[[Packet], bool]]:
+        return self._eject_gate_fn
+
+    @eject_gate.setter
+    def eject_gate(self, fn: Optional[Callable[[Packet], bool]]) -> None:
+        # swapping or removing a gate can open the ejection path, and local
+        # routers may be sleeping on the old gate's refusal — wake them so
+        # the active-set scheduler re-evaluates gated worms
+        old = self._eject_gate_fn
+        self._eject_gate_fn = fn
+        if old is not None and fn is not old:
+            self.notify_eject_ready()
+
     def can_eject(self, pkt: Packet) -> bool:
         """Whether a new worm destined here may start ejecting."""
-        if self.eject_gate is not None:
-            return self.eject_gate(pkt)
+        gate = self._eject_gate_fn
+        if gate is not None:
+            return gate(pkt)
         return True
+
+    def notify_eject_ready(self) -> None:
+        """Endpoints call this when a closed ejection gate may have
+        reopened (e.g. the LLC input queue or the FRQ drained a slot);
+        sleeping local routers then re-arbitrate their gated worms."""
+        self.fabric.wake_node_routers(self.node_id)
 
     def deliver(self, pkt: Packet, cycle: int) -> None:
         self.flits_received[pkt.cls] += pkt.size_flits
@@ -96,9 +122,19 @@ class NodeInterface:
 
     # -- injection (called by the fabric each cycle) --------------------
 
+    def idle(self) -> bool:
+        """True when there is nothing to inject; the fabric then drops this
+        NIC from its active set until the next successful ``try_send``."""
+        return not (
+            self.queues[NetKind.REQUEST]
+            or self.queues[NetKind.REPLY]
+            or self._inflight[NetKind.REQUEST]
+            or self._inflight[NetKind.REPLY]
+        )
+
     def inject_step(self, cycle: int) -> None:
         if self.fabric.separate_networks:
-            for net in (NetKind.REQUEST, NetKind.REPLY):
+            for net in _NET_KINDS:
                 if self.queues[net] or self._inflight[net]:
                     self._inject_net(net, cycle, self.fabric.bandwidth)
         else:
@@ -134,23 +170,31 @@ class NodeInterface:
         pushed_now = 0
         router = self.fabric.router_for(self.node_id, net)
         inflight = self._inflight[net]
+        accept = router.accept_flit
+        occ_row = router.occ[LOCAL_PORT]
+        owner_row = router.owner[LOCAL_PORT]
+        cap = router.vc_cap
         # continue in-flight worms first (wormhole: must finish)
-        for vc in list(inflight):
-            if budget <= 0:
-                break
-            pkt, pushed = inflight[vc]
-            if not router.can_accept(LOCAL_PORT, vc, pkt):
-                continue
-            is_tail = pushed + 1 == pkt.size_flits
-            router.accept_flit(LOCAL_PORT, vc, pkt, is_tail, cycle)
-            self.flits_injected += 1
-            self.flits_injected_net[net] += 1
-            pushed_now += 1
-            budget -= 1
-            if is_tail:
-                del inflight[vc]
-            else:
-                inflight[vc][1] = pushed + 1
+        if inflight:
+            for vc in list(inflight):
+                if budget <= 0:
+                    break
+                entry = inflight[vc]
+                pkt, pushed = entry
+                # credit + write-lock check, inlined from router.can_accept
+                if occ_row[vc] >= cap:
+                    continue
+                owner = owner_row[vc]
+                if owner is not None and owner is not pkt:
+                    continue
+                is_tail = pushed + 1 == pkt.size_flits
+                accept(LOCAL_PORT, vc, pkt, is_tail, cycle)
+                pushed_now += 1
+                budget -= 1
+                if is_tail:
+                    del inflight[vc]
+                else:
+                    entry[1] = pushed + 1
         # start new worms on free VCs
         while budget > 0:
             pkt = self._select_head(net)
@@ -162,21 +206,25 @@ class NodeInterface:
             self._pop_head(net, pkt)
             pkt.injected = cycle
             is_tail = pkt.size_flits == 1
-            router.accept_flit(LOCAL_PORT, vc, pkt, is_tail, cycle)
-            self.flits_injected += 1
-            self.flits_injected_net[net] += 1
+            accept(LOCAL_PORT, vc, pkt, is_tail, cycle)
             pushed_now += 1
             budget -= 1
             if not is_tail:
                 inflight[vc] = [pkt, 1]
+        if pushed_now:
+            self.flits_injected += pushed_now
+            self.flits_injected_net[net] += pushed_now
         return pushed_now
 
     def _pick_vc(self, router, pkt: Packet, exclude) -> int:
         vlo, vhi = self.fabric.vc_range_for(pkt)
+        owner_row = router.owner[LOCAL_PORT]
+        occ_row = router.occ[LOCAL_PORT]
+        cap = router.vc_cap
         for vc in range(vlo, vhi):
             if vc in exclude:
                 continue
-            if router.owner[LOCAL_PORT][vc] is None and router.occ[LOCAL_PORT][vc] < router.vc_cap:
+            if owner_row[vc] is None and occ_row[vc] < cap:
                 return vc
         return -1
 
@@ -207,14 +255,26 @@ class MemoryNodeNic(NodeInterface):
         self.max_delegations_per_cycle = 1
         #: whether to delegate only when the reply path is blocked.
         self.delegate_only_when_blocked = True
+        #: reply-buffer occupancy in flits, maintained incrementally:
+        #: +size on enqueue, -1 per injected reply flit, -size on
+        #: delegation.  Equals queued flits plus un-injected in-flight
+        #: flits, without rescanning the queue on every admission check.
+        self._reply_occ = 0
+
+    def idle(self) -> bool:
+        # memory-node NICs never leave the fabric's active set: blocked /
+        # observed-cycle accounting and the delegation trigger are
+        # per-cycle behaviours even with empty queues.
+        return False
+
+    def try_send(self, pkt: Packet, cycle: int) -> bool:
+        ok = super().try_send(pkt, cycle)
+        if ok and pkt.net is NetKind.REPLY:
+            self._reply_occ += pkt.size_flits
+        return ok
 
     def _reply_occupancy(self) -> int:
-        queued = sum(p.size_flits for p in self.queues[NetKind.REPLY])
-        in_flight = sum(
-            pkt.size_flits - pushed
-            for pkt, pushed in self._inflight[NetKind.REPLY].values()
-        )
-        return queued + in_flight
+        return self._reply_occ
 
     def can_enqueue(self, net: NetKind) -> bool:
         if net is NetKind.REPLY:
@@ -240,7 +300,9 @@ class MemoryNodeNic(NodeInterface):
         # router refuses every flit is exactly the "blocked" case of Fig. 4.
         before = self.flits_injected_net[NetKind.REPLY]
         super().inject_step(cycle)
-        replies_moved = self.flits_injected_net[NetKind.REPLY] > before
+        moved = self.flits_injected_net[NetKind.REPLY] - before
+        self._reply_occ -= moved
+        replies_moved = moved > 0
         self._maybe_delegate(cycle, replies_moved)
         self.observed_cycles += 1
         if not self.can_enqueue(NetKind.REPLY):
@@ -270,6 +332,7 @@ class MemoryNodeNic(NodeInterface):
             if not self.can_enqueue(NetKind.REQUEST):
                 break  # request path full; keep the reply
             queue.remove(pkt)
+            self._reply_occ -= pkt.size_flits
             # the reply never enters the reply network: undo its enqueue-time
             # accounting so noc.rep_packets counts actual reply traffic
             self.packets_sent_net[NetKind.REPLY] -= 1

@@ -53,7 +53,11 @@ class Router:
         "sent",
         "active",
         "downstream",
+        "upstream",
         "flits_routed",
+        "rescan",
+        "wake_at",
+        "wake_armed",
     )
 
     def __init__(
@@ -85,15 +89,32 @@ class Router:
         self.out_vc = [[-1] * vcs for _ in range(nports)]
         #: flits of the head worm already forwarded from this router.
         self.sent = [[0] * vcs for _ in range(nports)]
-        #: input VCs that currently hold any worm state; kept exact so the
-        #: network can skip idle routers entirely.
-        self.active: Dict[Tuple[int, int], bool] = {}
+        #: input VCs that currently hold any worm state, mapped to their
+        #: buffer deque; kept exact so the network can skip idle routers
+        #: entirely (and the arbiter can skip the buffer indexing).
+        self.active: Dict[Tuple[int, int], deque] = {}
         #: output port -> (downstream router, downstream input port);
         #: filled in by the network during wiring.  Entry for LOCAL_PORT is
         #: None (ejection goes to the node interface).
         self.downstream: List[Optional[Tuple["Router", int]]] = [None] * nports
+        #: router feeding each input port (None for LOCAL_PORT: the NIC).
+        #: Each input port has exactly one upstream, so a flit draining
+        #: from it is a precise credit event for that neighbour.
+        self.upstream: List[Optional["Router"]] = [None] * nports
         #: total flits moved through this router (energy model input).
         self.flits_routed = 0
+        #: stall classification of the last arbitration pass, read by the
+        #: network's active-set scheduler.  ``rescan`` means some head worm
+        #: waits on a condition this router cannot observe changing
+        #: (downstream credit, ejection gate, adaptive re-route), so the
+        #: router must be re-arbitrated every cycle.  ``wake_at`` is the
+        #: earliest pipeline-ready cycle among dwelling headers (-1: none).
+        self.rescan = True
+        self.wake_at = -1
+        #: earliest timed wake currently sitting in the network's wake heap
+        #: for this router (-1: none); lets the scheduler avoid pushing a
+        #: duplicate heap entry per arriving body flit of a dwelling worm.
+        self.wake_armed = -1
 
     # ------------------------------------------------------------------
     # buffer interface used by upstream routers and node interfaces
@@ -109,23 +130,39 @@ class Router:
     def accept_flit(self, port: int, vc: int, pkt: Packet, is_tail: bool, cycle: int) -> None:
         """Receive one flit of ``pkt`` into input VC ``(port, vc)``."""
         q = self.buf[port][vc]
-        owner = self.owner[port][vc]
-        if owner is pkt and q and q[-1][_PKT] is pkt:
-            q[-1][_AVAIL] += 1
-        elif owner is pkt:
-            # continuation of a worm whose buffered flits already drained:
-            # the path is established, body flits flow without re-paying
-            # the router pipeline
-            q.append([pkt, 1, cycle])
-            self.active[(port, vc)] = True
+        owner_row = self.owner[port]
+        if owner_row[vc] is pkt:
+            if q and q[-1][_PKT] is pkt:
+                q[-1][_AVAIL] += 1
+            else:
+                # continuation of a worm whose buffered flits already
+                # drained: the path is established, body flits flow
+                # without re-paying the router pipeline
+                q.append([pkt, 1, cycle])
+                self.active[(port, vc)] = q
         else:
             # header flit of a new worm in this VC
             q.append([pkt, 1, cycle + self.pipeline])
-            self.owner[port][vc] = pkt
-            self.active[(port, vc)] = True
+            owner_row[vc] = pkt
+            self.active[(port, vc)] = q
         self.occ[port][vc] += 1
         if is_tail:
-            self.owner[port][vc] = None
+            owner_row[vc] = None
+        # every arriving flit is a wake-up event for the scheduler: it may
+        # unblock a head worm that was waiting for upstream flits (inline
+        # membership guard — the receiver is usually awake already).  While
+        # the head worm is still dwelling in the router pipeline nothing
+        # can move before its ready cycle, so arrivals during the dwell arm
+        # a timed wake instead of forcing a no-op arbitration pass per flit.
+        net = self.net
+        if self.rid not in net._active_ids:
+            ready = q[0][_READY]
+            if ready > cycle:
+                armed = self.wake_armed
+                if armed < 0 or armed > ready:
+                    net.schedule_wake(ready, self.rid)
+            else:
+                net.mark_router_active(self.rid)
 
     def free_flits(self, port: int) -> int:
         """Total free buffer space on an input port (congestion metric)."""
@@ -143,81 +180,172 @@ class Router:
     # per-cycle switch traversal
     # ------------------------------------------------------------------
 
-    def step(self, cycle: int) -> None:
-        """Arbitrate each output port and move up to ``bw`` flits per port."""
+    def step(self, cycle: int) -> bool:
+        """Arbitrate each output port and move up to ``bw`` flits per port.
+
+        Returns True when any flit moved this cycle (the network scheduler
+        keeps the router active in that case).
+        """
         if not self.active:
-            return
+            return False
         net = self.net
-        for _ in range(net.bandwidth):
+        bw = net.bandwidth
+        if bw == 1:
+            return self._arbitrate_once(cycle, net)
+        moved_any = False
+        for _ in range(bw):
             if not self._arbitrate_once(cycle, net):
                 break
+            moved_any = True
+        return moved_any
 
     def _arbitrate_once(self, cycle: int, net: "PhysicalNetwork") -> bool:
-        """One switch-allocation pass; returns True if any flit moved."""
-        # output port -> (priority key, iport, ivc)
-        winners: Dict[int, Tuple[Tuple[int, int], int, int]] = {}
-        buf = self.buf
+        """One switch-allocation pass; returns True if any flit moved.
+
+        When nothing moves, ``self.rescan``/``self.wake_at`` classify the
+        stalls so the network can skip this router until something can
+        change: worms dwelling in the router pipeline wake at a known
+        cycle, worms waiting for upstream flits wake on ``accept_flit``,
+        and everything else (credit stalls, ejection gates, adaptive
+        re-routes) forces a rescan every cycle.
+        """
+        # output port -> (priority key, iport, ivc); built lazily — the
+        # overwhelmingly common case is zero or one candidate.
+        winners: Optional[Dict[int, Tuple[int, int, int, deque]]] = None
+        win_key = win_iport = win_ivc = win_oport = -1
+        win_q: Optional[deque] = None
+        ncand = 0
         route_out = self.route_out
         out_vc = self.out_vc
-        dead = []
-        for key_iv in self.active:
-            iport, ivc = key_iv
-            q = buf[iport][ivc]
+        sent = self.sent
+        downstream = self.downstream
+        rescan = False
+        wake_at = -1
+        dead = None
+        for key_iv, q in self.active.items():
             if not q:
-                dead.append(key_iv)
+                if dead is None:
+                    dead = [key_iv]
+                else:
+                    dead.append(key_iv)
                 continue
+            iport, ivc = key_iv
             head = q[0]
-            if head[_AVAIL] == 0 or cycle < head[_READY]:
+            if head[_AVAIL] == 0:
+                continue  # waiting for upstream flits; accept_flit wakes us
+            ready = head[_READY]
+            if cycle < ready:
+                if wake_at < 0 or ready < wake_at:
+                    wake_at = ready  # pipeline dwell: wake exactly then
                 continue
             pkt: Packet = head[_PKT]
             oport = route_out[iport][ivc]
             if oport < 0:
                 oport = net.route(self, pkt)
                 if oport < 0:
+                    rescan = True
                     continue  # no admissible output this cycle
                 route_out[iport][ivc] = oport
             if oport == LOCAL_PORT:
-                # ejection: gate new worms on endpoint acceptance
-                if self.sent[iport][ivc] == 0 and not net.nics[self.rid].can_eject(pkt):
+                # ejection: gate new worms on endpoint acceptance.  A closed
+                # gate is sleepable: the endpoint calls notify_eject_ready
+                # when it drains the capacity the gate was refusing on.
+                if sent[iport][ivc] == 0 and not net.nics[self.rid].can_eject(pkt):
                     continue
             else:
                 ovc = out_vc[iport][ivc]
-                down, dport = self.downstream[oport]
+                down, dport = downstream[oport]
                 if ovc >= 0:
                     # fast path: established worm, check credit + write lock
                     if down.occ[dport][ovc] >= down.vc_cap:
-                        continue
+                        continue  # credit stall: downstream drain wakes us
                     owner = down.owner[dport][ovc]
                     if owner is not None and owner is not pkt:
-                        continue
+                        continue  # lock holder streams from *this* router:
+                        # its tail (our move) or a drain wakes us
                 elif not self._allocate_vc(iport, ivc, oport, pkt, down, dport):
                     if net.escape_vc_active and out_vc[iport][ivc] < 0:
                         # adaptive choice stuck before VC allocation: allow a
                         # re-route next cycle so the escape (DOR) path stays
                         # reachable (deadlock freedom).
                         route_out[iport][ivc] = -1
+                        rescan = True
+                    continue  # VC-allocation stall: every candidate VC is
+                    # held by our own worms or credit-full — a drain or our
+                    # own tail delivery wakes us
+            ncand += 1
+            if winners is None:
+                if ncand == 1:
+                    # priority packed into one int: class-major, then age
+                    # (pid is monotone and far below 2**48), identical
+                    # ordering to the (cls, pid) tuple without allocating
+                    win_key = (pkt.cls << 48) | pkt.pid
+                    win_iport, win_ivc, win_oport = iport, ivc, oport
+                    win_q = q
                     continue
-            key = (pkt.cls, pkt.pid)
+                winners = {win_oport: (win_key, win_iport, win_ivc, win_q)}
+            key = (pkt.cls << 48) | pkt.pid
             cur = winners.get(oport)
             if cur is None or key < cur[0]:
-                winners[oport] = (key, iport, ivc)
-        for key_iv in dead:
-            self.active.pop(key_iv, None)
-        if not winners:
-            return False
+                winners[oport] = (key, iport, ivc, q)
+        if dead is not None:
+            active_pop = self.active.pop
+            for key_iv in dead:
+                active_pop(key_iv, None)
+        if winners is None:
+            if ncand == 0:
+                self.rescan = rescan
+                self.wake_at = wake_at
+                return False
+            # single candidate: it wins its output port unopposed.  This is
+            # the dominant exit, so _move_flit is inlined here verbatim to
+            # reuse the locals already bound above (keep both in sync).
+            q = win_q
+            head = q[0]
+            pkt = head[_PKT]
+            head[_AVAIL] -= 1
+            self.occ[win_iport][win_ivc] -= 1
+            sent_row = sent[win_iport]
+            nsent = sent_row[win_ivc] + 1
+            sent_row[win_ivc] = nsent
+            self.flits_routed += 1
+            up = self.upstream[win_iport]
+            if up is not None and up.active and up.rid not in net._active_ids:
+                net.mark_router_active(up.rid)
+            is_tail = nsent == pkt.size_flits
+            if win_oport == LOCAL_PORT:
+                if is_tail:
+                    net.eject_flit(self.rid, pkt, is_tail, cycle)
+            else:
+                down, dport = downstream[win_oport]
+                down.accept_flit(
+                    dport, out_vc[win_iport][win_ivc], pkt, is_tail, cycle
+                )
+                net.link_flits[self.rid][win_oport] += 1
+            if is_tail:
+                pkt.hops += 1
+                q.popleft()
+                route_out[win_iport][win_ivc] = -1
+                out_vc[win_iport][win_ivc] = -1
+                sent_row[win_ivc] = 0
+                if not q:
+                    self.active.pop((win_iport, win_ivc), None)
+            self.rescan = True
+            return True
         # the crossbar transfers at most one flit per input port and one
         # per output port per cycle (Section II's switch constraints);
         # winners is per-output already, now enforce per-input uniqueness
         taken_inputs = set()
         moved = False
-        for oport, (key, iport, ivc) in sorted(
+        for oport, (key, iport, ivc, q) in sorted(
             winners.items(), key=lambda kv: kv[1][0]
         ):
             if iport in taken_inputs:
                 continue
             taken_inputs.add(iport)
-            self._move_flit(iport, ivc, oport, cycle)
+            self._move_flit(iport, ivc, oport, cycle, q)
             moved = True
+        self.rescan = True
         return moved
 
     def _allocate_vc(
@@ -234,30 +362,37 @@ class Router:
                 return True
         return False
 
-    def _move_flit(self, iport: int, ivc: int, oport: int, cycle: int) -> None:
-        q = self.buf[iport][ivc]
+    def _move_flit(
+        self, iport: int, ivc: int, oport: int, cycle: int, q: deque
+    ) -> None:
+        net = self.net
         head = q[0]
         pkt: Packet = head[_PKT]
         head[_AVAIL] -= 1
         self.occ[iport][ivc] -= 1
-        self.sent[iport][ivc] += 1
+        sent_row = self.sent[iport]
+        nsent = sent_row[ivc] + 1
+        sent_row[ivc] = nsent
         self.flits_routed += 1
-        is_tail = self.sent[iport][ivc] == pkt.size_flits
+        # drain-wake: freeing a buffer slot is the credit event the (unique)
+        # upstream feeder of this input port may be sleeping on
+        up = self.upstream[iport]
+        if up is not None and up.active and up.rid not in net._active_ids:
+            net.mark_router_active(up.rid)
+        is_tail = nsent == pkt.size_flits
         if oport == LOCAL_PORT:
-            self.net.eject_flit(self.rid, pkt, is_tail, cycle)
+            if is_tail:
+                net.eject_flit(self.rid, pkt, is_tail, cycle)
         else:
             down, dport = self.downstream[oport]
             ovc = self.out_vc[iport][ivc]
             down.accept_flit(dport, ovc, pkt, is_tail, cycle)
-            self.net.count_link_flit(self.rid, oport)
+            net.link_flits[self.rid][oport] += 1
         if is_tail:
             pkt.hops += 1
             q.popleft()
             self.route_out[iport][ivc] = -1
             self.out_vc[iport][ivc] = -1
-            self.sent[iport][ivc] = 0
+            sent_row[ivc] = 0
             if not q:
                 self.active.pop((iport, ivc), None)
-        elif head[_AVAIL] == 0 and q[0] is head:
-            # worm stalled waiting for upstream flits; stays head
-            pass

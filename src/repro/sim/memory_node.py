@@ -59,6 +59,9 @@ class MemoryNode:
         self._overflow: Deque[LlcRequest] = deque()
         nic.handler = self.on_packet
         nic.eject_gate = self._eject_gate
+        #: ejection-gate state after the previous step; the fabric's
+        #: active-set scheduler is woken on every closed -> open transition
+        self._gate_was_open = True
 
     # -- NoC-facing side --------------------------------------------------
 
@@ -96,6 +99,10 @@ class MemoryNode:
         req.orig_block = pkt.block  # reply must echo the requester's view
         if not self.llc.enqueue(req):
             self._overflow.append(req)
+        # ejections can close the gate mid-fabric-step; record it so the
+        # next reopening is seen as a transition and wakes the routers
+        if self._gate_was_open:
+            self._gate_was_open = not self._overflow and self.llc.can_accept()
 
     # -- per-cycle behaviour ----------------------------------------------
 
@@ -106,6 +113,12 @@ class MemoryNode:
         self.controller.drain_completions(cycle)
         self.llc.step(cycle)
         self._drain_results(cycle)
+        # a request worm parked behind a full LLC queue sleeps in the local
+        # router; tell the fabric when the gate reopens
+        gate_open = not self._overflow and self.llc.can_accept()
+        if gate_open and not self._gate_was_open:
+            self.nic.notify_eject_ready()
+        self._gate_was_open = gate_open
 
     def _drain_results(self, cycle: int) -> None:
         while True:

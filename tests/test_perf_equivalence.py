@@ -1,0 +1,170 @@
+"""Equivalence harness: the optimised kernel must be behaviour-preserving.
+
+The active-set scheduler, the precomputed routing tables and every hot-path
+micro-optimisation are pure performance work: running the same seeded
+workload under the optimised stepping and under the naive full-scan
+reference stepping (``fabric.set_reference_stepping(True)``) must produce
+**bit-identical** counters.  These tests fail on the first counter that
+drifts, which pins down perf regressions that silently change behaviour.
+
+The second half asserts flit/packet conservation through the NoC under
+heavy delegation pressure: nothing the delegation path converts, rejects
+or re-routes may create or lose traffic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import BENCH_CONFIGS
+from repro.config.system import DelegationConfig, NocConfig
+from repro.core.delegated_replies import DelegatedRepliesMechanism, ReplyMeta
+from repro.noc import MeshTopology, MessageType, NocFabric, Packet, TrafficClass
+from repro.noc.packet import NetKind
+from repro.sim.metrics import collect_counters
+from repro.sim.simulator import build_system
+
+from conftest import small_config, small_dr_config
+
+
+def _fabric_counters(fabric: NocFabric) -> dict:
+    """Every observable counter of a fabric, flattened for == comparison."""
+    out: dict = {}
+    nets = {id(net): net for net in (fabric.request_net, fabric.reply_net)}
+    for i, net in enumerate(nets.values()):
+        out[f"net{i}.cycles"] = net.cycles
+        out[f"net{i}.packets_delivered"] = net.packets_delivered
+        out[f"net{i}.flits_delivered"] = net.flits_delivered
+        out[f"net{i}.delivered_by_type"] = dict(net.delivered_by_type)
+        out[f"net{i}.link_flits"] = [list(row) for row in net.link_flits]
+        out[f"net{i}.flits_routed"] = [r.flits_routed for r in net.routers]
+        out[f"net{i}.buffered"] = [r.buffered_flits() for r in net.routers]
+    for nic in fabric.nics:
+        nid = nic.node_id
+        out[f"nic{nid}.flits_injected"] = nic.flits_injected
+        out[f"nic{nid}.injected_net"] = dict(nic.flits_injected_net)
+        out[f"nic{nid}.sent_net"] = dict(nic.packets_sent_net)
+        out[f"nic{nid}.received"] = dict(nic.flits_received)
+        out[f"nic{nid}.data_flits"] = nic.data_flits_received
+        if hasattr(nic, "delegations"):
+            out[f"nic{nid}.delegations"] = nic.delegations
+            out[f"nic{nid}.blocked"] = nic.blocked_cycles
+            out[f"nic{nid}.observed"] = nic.observed_cycles
+    return out
+
+
+def _run_synthetic(config_name: str, cycles: int, reference: bool) -> dict:
+    builder, _default = BENCH_CONFIGS[config_name]
+    drive, fabric = builder()
+    if reference:
+        fabric.set_reference_stepping(True)
+    for c in range(cycles):
+        drive(c)
+    return _fabric_counters(fabric)
+
+
+@pytest.mark.parametrize("config_name", ["mesh8x8", "mesh8x8_dr", "shared_vnet"])
+def test_synthetic_counters_bit_identical(config_name):
+    """Optimised vs full-scan stepping on the bench traffic generators."""
+    opt = _run_synthetic(config_name, 1500, reference=False)
+    ref = _run_synthetic(config_name, 1500, reference=True)
+    diffs = {k: (ref[k], opt.get(k)) for k in ref if opt.get(k) != ref[k]}
+    assert not diffs, f"counters drifted under optimised stepping: {diffs}"
+
+
+@pytest.mark.parametrize("make_cfg", [small_config, small_dr_config])
+def test_full_system_counters_bit_identical(make_cfg):
+    """End-to-end: every counter in collect_counters matches both modes."""
+
+    def run(reference: bool) -> dict:
+        system = build_system(make_cfg(), "HS", "canneal")
+        if reference:
+            system.fabric.set_reference_stepping(True)
+        system.run(700)
+        return collect_counters(system)
+
+    opt = run(False)
+    ref = run(True)
+    diffs = {k: (ref[k], opt.get(k)) for k in ref if opt.get(k) != ref[k]}
+    assert not diffs, f"counters drifted under optimised stepping: {diffs}"
+
+
+# ---------------------------------------------------------------------------
+# conservation under heavy delegation
+# ---------------------------------------------------------------------------
+
+
+def _drain(fabric: NocFabric, start_cycle: int, limit: int = 6000) -> int:
+    """Step the fabric with injection stopped until it is empty."""
+    cycle = start_cycle
+    while cycle < start_cycle + limit:
+        fabric.step(cycle)
+        cycle += 1
+        if fabric.in_flight_flits() == 0 and all(
+            not nic.queues[NetKind.REQUEST]
+            and not nic.queues[NetKind.REPLY]
+            and not nic._inflight[NetKind.REQUEST]
+            and not nic._inflight[NetKind.REPLY]
+            for nic in fabric.nics
+        ):
+            return cycle
+    raise AssertionError("fabric failed to drain — flits lost or stuck")
+
+
+def test_packet_conservation_under_heavy_delegation():
+    """No flit is created or destroyed while delegation rewrites traffic.
+
+    Memory nodes are hammered until their reply buffers block, forcing the
+    delegation path (reply -> 1-flit delegated request conversion) to fire
+    constantly; after the sources stop, the fabric must drain completely
+    and the delivered totals must match the post-delegation send counts.
+    """
+    mem_nodes = (3, 7, 11, 15)
+    fabric = NocFabric(MeshTopology(4, 4), NocConfig(), mem_nodes=mem_nodes)
+    mech = DelegatedRepliesMechanism(DelegationConfig(enabled=True))
+    for m in mem_nodes:
+        mech.attach(fabric.nic(m))
+    for nic in fabric.nics:
+        nic.handler = lambda pkt, cycle: None
+    compute = [n for n in range(16) if n not in mem_nodes]
+
+    cycle = 0
+    for cycle in range(1200):
+        # every memory node posts a delegatable 9-flit reply each cycle —
+        # far beyond reply-network capacity, so the buffers stay blocked
+        for i, m in enumerate(mem_nodes):
+            dst = compute[(cycle + i) % len(compute)]
+            sharer = compute[(cycle + 2 * i + 1) % len(compute)]
+            meta = ReplyMeta(
+                llc_hit=True, delegate_to=sharer if sharer != dst else None
+            )
+            fabric.nic(m).try_send(
+                Packet(m, dst, MessageType.READ_REPLY, TrafficClass.GPU, 9,
+                       txn=meta),
+                cycle,
+            )
+            src = compute[(3 * cycle + i) % len(compute)]
+            fabric.nic(src).try_send(
+                Packet(src, m, MessageType.READ_REQ, TrafficClass.GPU, 1),
+                cycle,
+            )
+        fabric.step(cycle)
+
+    delegations = sum(fabric.nic(m).delegations for m in mem_nodes)
+    assert delegations > 100, "workload failed to trigger heavy delegation"
+
+    _drain(fabric, cycle + 1)
+
+    nets = {id(net): net for net in (fabric.request_net, fabric.reply_net)}
+    delivered_pkts = sum(n.packets_delivered for n in nets.values())
+    delivered_flits = sum(n.flits_delivered for n in nets.values())
+    sent_pkts = sum(
+        nic.packets_sent_net[NetKind.REQUEST]
+        + nic.packets_sent_net[NetKind.REPLY]
+        for nic in fabric.nics
+    )
+    injected_flits = sum(nic.flits_injected for nic in fabric.nics)
+    # packets_sent_net is adjusted on delegation (reply decremented,
+    # request incremented) so sends == deliveries exactly
+    assert delivered_pkts == sent_pkts
+    assert delivered_flits == injected_flits
