@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-from repro.config.system import NocConfig, SystemConfig, Topology
+from repro.config.system import SystemConfig
 from repro.noc.topology import build_topology
 
 #: technology-dependent coefficients (mm² units), calibrated so the

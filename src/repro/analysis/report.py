@@ -9,7 +9,7 @@ reports one.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
 
 Row = Tuple[str, Mapping[str, float]]
 

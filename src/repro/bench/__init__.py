@@ -1,0 +1,34 @@
+"""Performance benchmarks for the simulation kernel.
+
+``python -m repro.bench`` runs a fixed set of configurations against the
+hot-path simulation kernel (router arbitration, the active-set scheduler
+and the NIC injection loop) and writes machine-readable throughput numbers
+to ``BENCH_noc.json``.  The configs are chosen so regressions in the NoC
+kernel show up directly:
+
+* ``mesh8x8`` — 8x8 mesh, baseline NoC, light uniform-random traffic (the
+  latency-regime operating point).  NoC-kernel-bound and the headline
+  cycles/sec number: the active-set scheduler's win shows here.
+* ``mesh8x8_sat`` — the same mesh far past saturation; every router is
+  busy, so this isolates raw per-flit arbitration cost and guards against
+  scheduler bookkeeping overhead.
+* ``mesh8x8_dr`` — mesh with memory-node hotspot traffic and the
+  Delegated Replies policy attached, exercising the memory-node NIC path.
+* ``shared_vnet`` — one physical network with request/reply virtual
+  networks (the AVCP substrate of Section III-B) at moderate load.
+* ``fullsys`` — a short full-system window (HS + canneal) tracking
+  end-to-end simulation throughput, cores and caches included.
+
+The traffic generators are seeded LCGs whose decisions depend only on
+``(cycle, node)``, so two simulator builds replay the identical workload
+and their cycles/sec are directly comparable.
+"""
+
+from repro.bench.harness import (
+    BENCH_CONFIGS,
+    BenchResult,
+    run_bench,
+    run_all,
+)
+
+__all__ = ["BENCH_CONFIGS", "BenchResult", "run_bench", "run_all"]

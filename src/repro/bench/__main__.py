@@ -1,0 +1,79 @@
+"""CLI entry point: ``python -m repro.bench``.
+
+Runs the fixed benchmark configurations and writes ``BENCH_noc.json``:
+
+.. code-block:: json
+
+    {
+      "bench": "noc-kernel",
+      "scheduler": "active-set",
+      "configs": {
+        "mesh8x8": {"cycles": 12000, "wall_time_s": 0.52,
+                    "cycles_per_sec": 23076.9, "packets_delivered": 3800,
+                    "flits_delivered": 19000}
+      }
+    }
+
+Flags:
+    ``--cycles N``     override the per-config cycle counts with N
+    ``--quick``        quarter-length run (CI smoke test budget)
+    ``--configs a b``  run only the named configs
+    ``--reference``    use the full-scan reference stepping (for A/B runs)
+    ``--out PATH``     output path (default ``BENCH_noc.json``)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.harness import BENCH_CONFIGS, run_bench
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="NoC simulation-kernel throughput benchmarks",
+    )
+    parser.add_argument("--cycles", type=int, default=None,
+                        help="override per-config cycle counts")
+    parser.add_argument("--quick", action="store_true",
+                        help="quarter-length run (CI smoke budget)")
+    parser.add_argument("--configs", nargs="+", default=None,
+                        choices=sorted(BENCH_CONFIGS),
+                        help="subset of configs to run")
+    parser.add_argument("--reference", action="store_true",
+                        help="use full-scan reference stepping")
+    parser.add_argument("--out", default="BENCH_noc.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    names = args.configs or list(BENCH_CONFIGS)
+    results = {}
+    for name in names:
+        cycles = args.cycles
+        if cycles is None and args.quick:
+            cycles = max(200, BENCH_CONFIGS[name][1] // 4)
+        res = run_bench(name, cycles=cycles, reference=args.reference)
+        results[name] = res.as_dict()
+        print(
+            f"{name:>12}: {res.cycles_per_sec:>8.1f} cycles/s "
+            f"({res.cycles} cycles in {res.wall_time_s:.2f}s, "
+            f"{res.packets_delivered} pkts)"
+        )
+
+    payload = {
+        "bench": "noc-kernel",
+        "scheduler": "full-scan" if args.reference else "active-set",
+        "configs": results,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,12 +20,12 @@ space.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.config.system import DelegationConfig
 from repro.noc.nic import MemoryNodeNic
-from repro.noc.packet import MessageType, NetKind, Packet, TrafficClass
+from repro.noc.packet import MessageType, Packet, TrafficClass
 
 
 @dataclass

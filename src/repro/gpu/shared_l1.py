@@ -11,7 +11,7 @@ Replies: they do not remove NoC clogging.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.cache.cache import SetAssociativeCache
 from repro.config.system import GpuCacheConfig

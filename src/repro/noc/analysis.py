@@ -13,7 +13,7 @@ becomes a one-liner::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.noc.network import PhysicalNetwork
 from repro.noc.topology import MeshTopology

@@ -11,8 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.noc.network import PhysicalNetwork
-from repro.noc.nic import MemoryNodeNic
 from repro.noc.packet import MessageType, NetKind
 from repro.sim.system import HeterogeneousSystem
 

@@ -7,7 +7,7 @@ memory nodes into one steppable simulation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.config.system import (
     CtaScheduler,
