@@ -28,7 +28,10 @@ import argparse
 import json
 import sys
 
-from repro.bench.harness import BENCH_CONFIGS, run_bench
+from repro.bench.harness import BENCH_CONFIGS, run_bench, run_sweep_throughput
+
+#: pseudo-config measuring the repro.sweep runner, not a bare fabric
+SWEEP_BENCH = "sweep_throughput"
 
 
 def main(argv=None) -> int:
@@ -41,7 +44,7 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="quarter-length run (CI smoke budget)")
     parser.add_argument("--configs", nargs="+", default=None,
-                        choices=sorted(BENCH_CONFIGS),
+                        choices=sorted([*BENCH_CONFIGS, SWEEP_BENCH]),
                         help="subset of configs to run")
     parser.add_argument("--reference", action="store_true",
                         help="use full-scan reference stepping")
@@ -49,9 +52,22 @@ def main(argv=None) -> int:
                         help="output JSON path")
     args = parser.parse_args(argv)
 
-    names = args.configs or list(BENCH_CONFIGS)
+    names = args.configs or [*BENCH_CONFIGS, SWEEP_BENCH]
     results = {}
     for name in names:
+        if name == SWEEP_BENCH:
+            res = run_sweep_throughput(
+                cycles=150 if args.quick else 300,
+                warmup=100 if args.quick else 200,
+            )
+            results[name] = res.as_dict()
+            print(
+                f"{name:>12}: {res.extra['jobs_per_sec_1']:.2f} jobs/s @1 "
+                f"-> {res.extra['jobs_per_sec_n']:.2f} jobs/s "
+                f"@{res.extra['workers']} workers "
+                f"({res.extra['parallel_speedup']:.2f}x)"
+            )
+            continue
         cycles = args.cycles
         if cycles is None and args.quick:
             cycles = max(200, BENCH_CONFIGS[name][1] // 4)

@@ -89,18 +89,7 @@ def load_config(path: Union[str, Path]) -> SystemConfig:
 def dump_config(cfg: SystemConfig) -> Dict[str, Any]:
     """Serialize a config back to a JSON-compatible dict (round-trips
     through :func:`config_from_dict`)."""
-
-    def convert(value):
-        if dataclasses.is_dataclass(value) and not isinstance(value, type):
-            return {
-                f.name: convert(getattr(value, f.name))
-                for f in dataclasses.fields(value)
-            }
-        if isinstance(value, enum.Enum):
-            return value.value
-        return value
-
-    return convert(cfg)
+    return cfg.to_dict()
 
 
 def save_config(cfg: SystemConfig, path: Union[str, Path]) -> None:

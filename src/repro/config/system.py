@@ -14,7 +14,10 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import hashlib
+import json
 from dataclasses import dataclass, field
+from typing import Any, Dict
 
 
 class Topology(str, enum.Enum):
@@ -292,6 +295,38 @@ class SystemConfig:
     @property
     def n_nodes(self) -> int:
         return self.mesh_width * self.mesh_height
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible nested dict of every field, in declaration order.
+
+        Enum fields collapse to their string values, so the result
+        round-trips through :func:`repro.config.loader.config_from_dict`.
+        """
+
+        def convert(value):
+            if dataclasses.is_dataclass(value) and not isinstance(value, type):
+                return {
+                    f.name: convert(getattr(value, f.name))
+                    for f in dataclasses.fields(value)
+                }
+            if isinstance(value, enum.Enum):
+                return value.value
+            return value
+
+        return convert(self)
+
+    def config_hash(self) -> str:
+        """Stable content hash of the full configuration.
+
+        Computed over the canonical (sorted-key, compact) JSON encoding of
+        :meth:`to_dict`, so the hash is independent of dict insertion order
+        and identical across processes and Python versions.  Two configs
+        hash equal iff every field (including nested sections) is equal.
+        """
+        payload = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def copy(self, **overrides) -> "SystemConfig":
         """Deep copy with top-level field overrides.

@@ -4,14 +4,14 @@ Each module exposes ``run(...) -> ExperimentResult``; ``run_all`` executes
 every experiment in figure order and returns the concatenated report.
 """
 
-from typing import Dict, List, Optional
+from typing import Dict
 
 from repro.experiments.common import (
-    DEFAULT_CYCLES,
-    DEFAULT_WARMUP,
     ExperimentResult,
     clear_sweep_cache,
     default_benchmarks,
+    default_cycles,
+    default_warmup,
     mechanism_config,
     mechanism_sweep,
 )
@@ -66,6 +66,16 @@ def run_all(**kwargs) -> Dict[str, ExperimentResult]:
     return results
 
 
+def __getattr__(name: str):
+    # back-compat: DEFAULT_CYCLES/DEFAULT_WARMUP resolve the environment
+    # on access (see repro.experiments.common)
+    if name in ("DEFAULT_CYCLES", "DEFAULT_WARMUP"):
+        from repro.experiments import common
+
+        return getattr(common, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "ALL_EXPERIMENTS",
     "DEFAULT_CYCLES",
@@ -73,6 +83,8 @@ __all__ = [
     "ExperimentResult",
     "clear_sweep_cache",
     "default_benchmarks",
+    "default_cycles",
+    "default_warmup",
     "mechanism_config",
     "mechanism_sweep",
     "run_all",

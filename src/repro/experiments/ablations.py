@@ -23,8 +23,6 @@ from typing import List, Optional, Sequence, Tuple
 from repro.analysis.report import amean, format_table
 from repro.config import baseline_config, delegated_replies_config
 from repro.experiments.common import (
-    DEFAULT_CYCLES,
-    DEFAULT_WARMUP,
     ExperimentResult,
     cpu_corunners,
     default_benchmarks,
@@ -46,8 +44,8 @@ def _dr_speedups(benchmarks, mutate, cycles, warmup) -> List[float]:
 
 def run(
     benchmarks: Optional[Sequence[str]] = None,
-    cycles: int = DEFAULT_CYCLES,
-    warmup: int = DEFAULT_WARMUP,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
 ) -> ExperimentResult:
     """Run every ablation; one row per design point."""
     benchmarks = list(benchmarks or default_benchmarks(subset=3))

@@ -17,8 +17,6 @@ from repro.analysis.energy import energy_report
 from repro.analysis.report import amean, format_table
 from repro.config import baseline_config
 from repro.experiments.common import (
-    DEFAULT_CYCLES,
-    DEFAULT_WARMUP,
     ExperimentResult,
     cpu_corunners,
     default_benchmarks,
@@ -91,8 +89,8 @@ def energy_rows(
 def run(
     benchmarks: Optional[Sequence[str]] = None,
     n_mixes: int = 1,
-    cycles: int = DEFAULT_CYCLES,
-    warmup: int = DEFAULT_WARMUP,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
 ) -> ExperimentResult:
     """Regenerate the area table and the energy comparison."""
     benchmarks = list(benchmarks or default_benchmarks(subset=5))

@@ -6,8 +6,15 @@ heavy lifting — simulating every (GPU benchmark, CPU co-runner, mechanism)
 triple — is shared through a process-level cache so that Figures 10-14,
 which all read the same sweep, simulate it once.
 
-Window lengths default to ``REPRO_CYCLES``/``REPRO_WARMUP`` (env vars) so
-the benchmark harness and CI can trade fidelity for speed uniformly.
+Window lengths default to ``REPRO_CYCLES``/``REPRO_WARMUP``, read at
+*call* time (:func:`default_cycles`/:func:`default_warmup`) so the bench
+harness and tests can vary them after import.
+
+Simulation execution is delegated to :mod:`repro.sweep`: the shared
+mechanism sweep and :func:`run_config` both build ``JobSpec`` batches and
+run them through the sweep runner, which adds process-level parallelism
+(``REPRO_SWEEP_JOBS``) and an on-disk result cache (``REPRO_SWEEP_CACHE``)
+on top of the in-process memo kept here.
 """
 
 from __future__ import annotations
@@ -18,7 +25,6 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.config.system import SystemConfig
 from repro.sim.metrics import SimulationResult
-from repro.sim.simulator import run_simulation
 from repro.config import (
     baseline_config,
     delegated_replies_config,
@@ -27,8 +33,25 @@ from repro.config import (
 from repro.workloads.gpu import GPU_BENCHMARK_NAMES
 from repro.workloads.mixes import TABLE_II
 
-DEFAULT_CYCLES = int(os.environ.get("REPRO_CYCLES", "3000"))
-DEFAULT_WARMUP = int(os.environ.get("REPRO_WARMUP", "2000"))
+
+def default_cycles() -> int:
+    """Measured-window length: ``REPRO_CYCLES`` (read now), default 3000."""
+    return int(os.environ.get("REPRO_CYCLES", "3000"))
+
+
+def default_warmup() -> int:
+    """Warmup-window length: ``REPRO_WARMUP`` (read now), default 2000."""
+    return int(os.environ.get("REPRO_WARMUP", "2000"))
+
+
+def __getattr__(name: str):
+    # back-compat: the old module constants now resolve the environment on
+    # every access instead of freezing it at import time
+    if name == "DEFAULT_CYCLES":
+        return default_cycles()
+    if name == "DEFAULT_WARMUP":
+        return default_warmup()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: the three reply-delivery mechanisms compared throughout the evaluation
 MECHANISMS = ("baseline", "rp", "dr")
@@ -95,26 +118,32 @@ def cpu_corunners(gpu_name: str, n_mixes: int) -> List[str]:
 def mechanism_sweep(
     benchmarks: Sequence[str],
     n_mixes: int = 1,
-    cycles: int = DEFAULT_CYCLES,
-    warmup: int = DEFAULT_WARMUP,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
     mechanisms: Sequence[str] = MECHANISMS,
+    jobs: Optional[int] = None,
 ) -> Dict[Tuple[str, str, str], SimulationResult]:
     """Simulate every (GPU bench, CPU co-runner, mechanism) triple.
 
-    Results are cached per process so the per-figure modules can share one
-    sweep.  Keys are ``(gpu, cpu, mechanism)``.
+    Execution goes through the :mod:`repro.sweep` runner — ``jobs``
+    worker processes (default ``REPRO_SWEEP_JOBS`` or 1) and, when
+    ``REPRO_SWEEP_CACHE`` is set, an on-disk result cache.  Results are
+    additionally memoised per process so the per-figure modules can share
+    one sweep.  Keys are ``(gpu, cpu, mechanism)``.
     """
+    from repro.sweep import mechanism_jobs, run_sweep
+
+    cycles = default_cycles() if cycles is None else cycles
+    warmup = default_warmup() if warmup is None else warmup
     key = (tuple(benchmarks), n_mixes, cycles, warmup, tuple(mechanisms))
     if key in _SWEEP_CACHE:
         return _SWEEP_CACHE[key]
-    out: Dict[Tuple[str, str, str], SimulationResult] = {}
-    for gpu in benchmarks:
-        for cpu in cpu_corunners(gpu, n_mixes):
-            for mech in mechanisms:
-                cfg = mechanism_config(mech)
-                out[(gpu, cpu, mech)] = run_simulation(
-                    cfg, gpu, cpu, cycles=cycles, warmup=warmup
-                )
+    specs = mechanism_jobs(benchmarks, n_mixes, cycles, warmup, mechanisms)
+    results = run_sweep(specs, jobs=jobs)
+    out = {
+        (spec.label[0], spec.label[1], spec.label[2]): results[spec.key()]
+        for spec in specs
+    }
     _SWEEP_CACHE[key] = out
     return out
 
@@ -128,8 +157,17 @@ def run_config(
     cfg: SystemConfig,
     gpu: str,
     cpu: Optional[str] = None,
-    cycles: int = DEFAULT_CYCLES,
-    warmup: int = DEFAULT_WARMUP,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
 ) -> SimulationResult:
-    """Uncached single-configuration run (for topology/layout studies)."""
-    return run_simulation(cfg, gpu, cpu, cycles=cycles, warmup=warmup)
+    """Single-configuration run (for topology/layout studies).
+
+    Routed through the sweep runner so the on-disk cache, when enabled
+    via ``REPRO_SWEEP_CACHE``, also covers the per-figure config studies.
+    """
+    from repro.sweep import JobSpec, run_sweep
+
+    cycles = default_cycles() if cycles is None else cycles
+    warmup = default_warmup() if warmup is None else warmup
+    spec = JobSpec.make(cfg, gpu, cpu, cycles=cycles, warmup=warmup)
+    return run_sweep([spec], jobs=1)[spec.key()]

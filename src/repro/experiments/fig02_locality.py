@@ -14,8 +14,6 @@ from typing import List, Optional, Sequence, Tuple
 from repro.analysis.report import amean, format_table
 from repro.config import baseline_config
 from repro.experiments.common import (
-    DEFAULT_CYCLES,
-    DEFAULT_WARMUP,
     ExperimentResult,
     cpu_corunners,
     default_benchmarks,
@@ -57,8 +55,8 @@ def measure_locality(
 
 def run(
     benchmarks: Optional[Sequence[str]] = None,
-    cycles: int = DEFAULT_CYCLES,
-    warmup: int = DEFAULT_WARMUP,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
 ) -> ExperimentResult:
     """Regenerate Figure 2 (one bar per GPU benchmark + the mean)."""
     benchmarks = list(benchmarks or default_benchmarks())

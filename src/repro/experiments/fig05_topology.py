@@ -14,8 +14,6 @@ from typing import List, Optional, Sequence, Tuple
 from repro.analysis.report import format_table, hmean
 from repro.config import Topology, baseline_config
 from repro.experiments.common import (
-    DEFAULT_CYCLES,
-    DEFAULT_WARMUP,
     ExperimentResult,
     cpu_corunners,
     default_benchmarks,
@@ -32,8 +30,8 @@ TOPOLOGIES = (
 
 def run(
     benchmarks: Optional[Sequence[str]] = None,
-    cycles: int = DEFAULT_CYCLES,
-    warmup: int = DEFAULT_WARMUP,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
     bandwidths: Sequence[float] = (1.0, 2.0),
 ) -> ExperimentResult:
     """Regenerate Fig. 5a (HM GPU perf vs mesh-1x) and Fig. 5b (blocking)."""

@@ -14,8 +14,6 @@ from typing import List, Optional, Sequence, Tuple
 from repro.analysis.report import format_table, hmean
 from repro.config import baseline_config
 from repro.experiments.common import (
-    DEFAULT_CYCLES,
-    DEFAULT_WARMUP,
     ExperimentResult,
     cpu_corunners,
     default_benchmarks,
@@ -30,8 +28,8 @@ VC_SPLITS = ((2, 2), (1, 3), (3, 1))
 
 def run(
     benchmarks: Optional[Sequence[str]] = None,
-    cycles: int = DEFAULT_CYCLES,
-    warmup: int = DEFAULT_WARMUP,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
 ) -> ExperimentResult:
     """Regenerate Fig. 6: AVCP GPU performance vs the baseline."""
     benchmarks = list(benchmarks or default_benchmarks(subset=5))

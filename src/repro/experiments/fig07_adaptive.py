@@ -14,8 +14,6 @@ from typing import List, Optional, Sequence, Tuple
 from repro.analysis.report import format_table
 from repro.config import RoutingPolicy, baseline_config
 from repro.experiments.common import (
-    DEFAULT_CYCLES,
-    DEFAULT_WARMUP,
     ExperimentResult,
     cpu_corunners,
     default_benchmarks,
@@ -31,8 +29,8 @@ ADAPTIVE_POLICIES = (
 
 def run(
     benchmarks: Optional[Sequence[str]] = None,
-    cycles: int = DEFAULT_CYCLES,
-    warmup: int = DEFAULT_WARMUP,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
 ) -> ExperimentResult:
     """Regenerate Fig. 7: adaptive-routing GPU perf normalised to CDR."""
     benchmarks = list(benchmarks or default_benchmarks(subset=5))

@@ -15,8 +15,6 @@ from typing import List, Optional, Sequence, Tuple
 from repro.analysis.report import amean, format_table
 from repro.config import DimensionOrder, Layout, baseline_config
 from repro.experiments.common import (
-    DEFAULT_CYCLES,
-    DEFAULT_WARMUP,
     ExperimentResult,
     cpu_corunners,
     default_benchmarks,
@@ -48,8 +46,8 @@ def _label(layout: Layout, req: DimensionOrder, rep: DimensionOrder) -> str:
 
 def run(
     benchmarks: Optional[Sequence[str]] = None,
-    cycles: int = DEFAULT_CYCLES,
-    warmup: int = DEFAULT_WARMUP,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
 ) -> ExperimentResult:
     """Regenerate Fig. 9: average GPU and CPU perf per layout/routing."""
     benchmarks = list(benchmarks or default_benchmarks(subset=4))

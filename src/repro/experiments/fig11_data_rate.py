@@ -11,8 +11,6 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.report import amean, format_table
 from repro.experiments.common import (
-    DEFAULT_CYCLES,
-    DEFAULT_WARMUP,
     ExperimentResult,
     cpu_corunners,
     default_benchmarks,
@@ -23,8 +21,8 @@ from repro.experiments.common import (
 def run(
     benchmarks: Optional[Sequence[str]] = None,
     n_mixes: int = 1,
-    cycles: int = DEFAULT_CYCLES,
-    warmup: int = DEFAULT_WARMUP,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
 ) -> ExperimentResult:
     """Regenerate Fig. 11: per-core received data rate by mechanism."""
     benchmarks = list(benchmarks or default_benchmarks())

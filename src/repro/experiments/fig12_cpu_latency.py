@@ -14,8 +14,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import amean, format_table
 from repro.experiments.common import (
-    DEFAULT_CYCLES,
-    DEFAULT_WARMUP,
     ExperimentResult,
     cpu_corunners,
     default_benchmarks,
@@ -37,8 +35,8 @@ def _by_cpu(
 def run(
     benchmarks: Optional[Sequence[str]] = None,
     n_mixes: int = 3,
-    cycles: int = DEFAULT_CYCLES,
-    warmup: int = DEFAULT_WARMUP,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
 ) -> ExperimentResult:
     """Regenerate Fig. 12: normalised CPU packet latency per CPU bench."""
     benchmarks = list(benchmarks or default_benchmarks())

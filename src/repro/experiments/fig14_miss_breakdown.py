@@ -14,8 +14,6 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.report import amean, format_table
 from repro.experiments.common import (
-    DEFAULT_CYCLES,
-    DEFAULT_WARMUP,
     ExperimentResult,
     cpu_corunners,
     default_benchmarks,
@@ -26,8 +24,8 @@ from repro.experiments.common import (
 def run(
     benchmarks: Optional[Sequence[str]] = None,
     n_mixes: int = 1,
-    cycles: int = DEFAULT_CYCLES,
-    warmup: int = DEFAULT_WARMUP,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
 ) -> ExperimentResult:
     """Regenerate Fig. 14 from the Delegated Replies runs."""
     benchmarks = list(benchmarks or default_benchmarks())

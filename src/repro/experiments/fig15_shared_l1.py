@@ -20,8 +20,6 @@ from repro.config import (
     delegated_replies_config,
 )
 from repro.experiments.common import (
-    DEFAULT_CYCLES,
-    DEFAULT_WARMUP,
     ExperimentResult,
     cpu_corunners,
     default_benchmarks,
@@ -41,8 +39,8 @@ CONFIGS = (
 
 def run(
     benchmarks: Optional[Sequence[str]] = None,
-    cycles: int = DEFAULT_CYCLES,
-    warmup: int = DEFAULT_WARMUP,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
 ) -> ExperimentResult:
     """Regenerate Fig. 15, normalised to the private-L1 round-robin base."""
     benchmarks = list(benchmarks or default_benchmarks(subset=5))

@@ -13,8 +13,6 @@ from typing import List, Optional, Sequence, Tuple
 from repro.analysis.report import amean, format_table
 from repro.config import Topology, baseline_config, delegated_replies_config
 from repro.experiments.common import (
-    DEFAULT_CYCLES,
-    DEFAULT_WARMUP,
     ExperimentResult,
     cpu_corunners,
     default_benchmarks,
@@ -25,8 +23,8 @@ from repro.experiments.fig05_topology import TOPOLOGIES
 
 def run(
     benchmarks: Optional[Sequence[str]] = None,
-    cycles: int = DEFAULT_CYCLES,
-    warmup: int = DEFAULT_WARMUP,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
     topologies: Sequence[Topology] = TOPOLOGIES,
 ) -> ExperimentResult:
     """Regenerate Fig. 16: DR speedup per topology (vs that topology)."""

@@ -13,8 +13,6 @@ from typing import List, Optional, Sequence, Tuple
 from repro.analysis.report import amean, format_table
 from repro.config import Layout, baseline_config, delegated_replies_config
 from repro.experiments.common import (
-    DEFAULT_CYCLES,
-    DEFAULT_WARMUP,
     ExperimentResult,
     cpu_corunners,
     default_benchmarks,
@@ -27,8 +25,8 @@ LAYOUTS = (Layout.BASELINE, Layout.EDGE, Layout.CLUSTERED, Layout.DISTRIBUTED)
 
 def run(
     benchmarks: Optional[Sequence[str]] = None,
-    cycles: int = DEFAULT_CYCLES,
-    warmup: int = DEFAULT_WARMUP,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
 ) -> ExperimentResult:
     """Regenerate Figs. 17-18: per-layout DR speedup for GPU and CPU."""
     benchmarks = list(benchmarks or default_benchmarks(subset=4))

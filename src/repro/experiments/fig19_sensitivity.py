@@ -26,8 +26,6 @@ from repro.config import (
     delegated_replies_config,
 )
 from repro.experiments.common import (
-    DEFAULT_CYCLES,
-    DEFAULT_WARMUP,
     ExperimentResult,
     cpu_corunners,
     default_benchmarks,
@@ -99,8 +97,8 @@ PANELS: Dict[str, List[Tuple[str, Mutator]]] = {
 def run_panel(
     panel: str,
     benchmarks: Optional[Sequence[str]] = None,
-    cycles: int = DEFAULT_CYCLES,
-    warmup: int = DEFAULT_WARMUP,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
 ) -> List[Tuple[str, dict]]:
     """DR speedup at every point of one sensitivity panel."""
     benchmarks = list(benchmarks or default_benchmarks(subset=3))
@@ -123,8 +121,8 @@ def run_panel(
 def run(
     benchmarks: Optional[Sequence[str]] = None,
     panels: Optional[Sequence[str]] = None,
-    cycles: int = DEFAULT_CYCLES,
-    warmup: int = DEFAULT_WARMUP,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
 ) -> ExperimentResult:
     """Regenerate Fig. 19 (all panels unless a subset is requested)."""
     panels = list(panels or PANELS.keys())

@@ -8,6 +8,7 @@ snapshots — the measured window only.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -132,6 +133,27 @@ class SimulationResult:
     remote_hit_fraction: float = 0.0    # of delegated requests
     delegated_fraction: float = 0.0     # of L1 read misses
     noc_request_packets: float = 0.0
+
+    def to_dict(self) -> Dict:
+        """JSON-compatible dict of every field (for the sweep result cache).
+
+        The encoding is lossless: ints stay ints, floats round-trip exactly
+        through ``json`` (repr-based), so ``from_dict(to_dict())`` rebuilds a
+        bit-identical result.
+        """
+        return {
+            f.name: (dict(self.counters) if f.name == "counters"
+                     else getattr(self, f.name))
+            for f in dataclasses.fields(self)
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimulationResult":
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ValueError(f"unknown SimulationResult fields: {sorted(unknown)}")
+        return cls(**data)
 
     @property
     def llc_direct_fraction(self) -> float:

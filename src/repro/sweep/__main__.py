@@ -1,0 +1,220 @@
+"""CLI entry point: ``python -m repro.sweep``.
+
+Subcommands:
+
+* ``list``    — enumerate the sweep's jobs, their keys and cache state
+* ``run``     — execute the sweep (``--jobs N`` workers, cached results
+  are reused by default so an interrupted run resumes where it stopped;
+  ``--force`` recomputes everything)
+* ``status``  — cached/missing breakdown for the sweep + cache totals
+* ``clean``   — delete every cache entry
+
+Examples::
+
+    python -m repro.sweep run --jobs 4                  # full Fig. 10 sweep
+    python -m repro.sweep run --jobs 2 --benchmarks HS,SC --resume
+    python -m repro.sweep list --mechanisms baseline,dr
+    python -m repro.sweep status
+    python -m repro.sweep clean
+
+The sweep selection flags (``--benchmarks``, ``--n-mixes``,
+``--mechanisms``, ``--cycles``, ``--warmup``) describe the same
+(GPU benchmark x CPU co-runner x mechanism) cross product Figures 10-14
+read; defaults regenerate the Fig. 10 sweep.  Window lengths default to
+``REPRO_CYCLES``/``REPRO_WARMUP``.  The cache lives in ``--cache-dir``
+(default: ``$REPRO_SWEEP_CACHE`` or ``.repro_sweep_cache``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+import time
+from typing import List, Optional
+
+from repro.sweep.cache import ResultCache, default_cache_dir
+from repro.sweep.jobs import JobSpec, mechanism_jobs
+from repro.sweep.runner import JobOutcome, SweepRunner
+
+
+def _specs_from_args(args) -> List[JobSpec]:
+    benchmarks = args.benchmarks.split(",") if args.benchmarks else None
+    if benchmarks is None and args.subset:
+        from repro.experiments.common import default_benchmarks
+
+        benchmarks = default_benchmarks(subset=args.subset)
+    mechanisms = args.mechanisms.split(",") if args.mechanisms else None
+    return mechanism_jobs(
+        benchmarks=benchmarks,
+        n_mixes=args.n_mixes,
+        cycles=args.cycles,
+        warmup=args.warmup,
+        mechanisms=mechanisms,
+    )
+
+
+def _cache_from_args(args) -> ResultCache:
+    return ResultCache(args.cache_dir or default_cache_dir())
+
+
+def _cmd_list(args) -> int:
+    specs = _specs_from_args(args)
+    cache = _cache_from_args(args)
+    print(f"{len(specs)} job(s); cache: {cache.root}")
+    for spec in specs:
+        state = "cached" if cache.contains(spec.key()) else "missing"
+        print(f"  {spec.key()[:16]}  {state:7s}  {spec.describe()}"
+              f"  cycles={spec.cycles} warmup={spec.warmup}")
+    return 0
+
+
+def _cmd_status(args) -> int:
+    specs = _specs_from_args(args)
+    cache = _cache_from_args(args)
+    cached = sum(1 for s in specs if cache.contains(s.key()))
+    total_entries = sum(1 for _ in cache.keys())
+    print(f"sweep:   {cached}/{len(specs)} job(s) cached, "
+          f"{len(specs) - cached} to run")
+    print(f"cache:   {cache.root} — {total_entries} entr(ies), "
+          f"{cache.size_bytes() / 1024:.1f} KiB")
+    return 0
+
+
+def _cmd_clean(args) -> int:
+    cache = _cache_from_args(args)
+    n = cache.clear()
+    print(f"removed {n} cache entr(ies) from {cache.root}")
+    return 0
+
+
+def _sigterm_to_interrupt(signum, frame):
+    raise KeyboardInterrupt
+
+
+def _cmd_run(args) -> int:
+    # treat SIGTERM like ^C so `kill` leaves a resumable cache behind
+    # (non-interactive shells start background jobs with SIGINT ignored,
+    # so CI drives the interrupt path with SIGTERM)
+    try:
+        signal.signal(signal.SIGTERM, _sigterm_to_interrupt)
+    except ValueError:  # pragma: no cover - non-main thread
+        pass
+    specs = _specs_from_args(args)
+    cache = _cache_from_args(args)
+
+    def progress(outcome: JobOutcome, done: int, total: int) -> None:
+        mark = {"ok": "ok    ", "cached": "cached"}.get(
+            outcome.status, outcome.status
+        )
+        print(f"[{done}/{total}] {mark}  {outcome.spec.describe()}"
+              + (f"  {outcome.wall_time_s:.2f}s" if outcome.status == "ok"
+                 else ""),
+              flush=True)
+
+    runner = SweepRunner(
+        cache=cache,
+        jobs=args.jobs,
+        max_retries=args.retries,
+        use_cache=not args.force,
+        progress=progress,
+    )
+    t0 = time.perf_counter()
+    interrupted = False
+    try:
+        outcomes = runner.run(specs)
+    except KeyboardInterrupt:
+        print("\ninterrupted — completed jobs are cached; "
+              "re-run with --resume to continue", file=sys.stderr)
+        interrupted = True
+        outcomes = {}
+    wall = time.perf_counter() - t0
+
+    if not interrupted:
+        counts = {"ok": 0, "cached": 0, "failed": 0}
+        for out in outcomes.values():
+            counts[out.status] = counts.get(out.status, 0) + 1
+        simulated = [o for o in outcomes.values() if o.status == "ok"]
+        rate = len(simulated) / wall if wall > 0 else 0.0
+        print(f"{len(outcomes)} job(s): {counts['ok']} simulated, "
+              f"{counts['cached']} from cache, {counts['failed']} failed "
+              f"in {wall:.1f}s ({rate:.2f} jobs/s)")
+        if args.manifest:
+            manifest = {
+                "workers": runner.jobs,
+                "wall_time_s": round(wall, 3),
+                "totals": counts,
+                "cache_dir": str(cache.root),
+                "jobs": [o.as_dict() for o in outcomes.values()],
+            }
+            with open(args.manifest, "w") as fh:
+                json.dump(manifest, fh, indent=2)
+                fh.write("\n")
+            print(f"wrote {args.manifest}")
+        if counts["failed"]:
+            return 1
+    return 130 if interrupted else 0
+
+
+def _add_sweep_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--benchmarks", default=None,
+                   help="comma-separated GPU benchmarks (default: all 11)")
+    p.add_argument("--subset", type=int, default=None,
+                   help="representative benchmark subset size")
+    p.add_argument("--n-mixes", type=int, default=1,
+                   help="Table II CPU co-runners per GPU benchmark")
+    p.add_argument("--mechanisms", default=None,
+                   help="comma-separated subset of baseline,rp,dr")
+    p.add_argument("--cycles", type=int, default=None,
+                   help="measured window (default: $REPRO_CYCLES or 3000)")
+    p.add_argument("--warmup", type=int, default=None,
+                   help="warmup window (default: $REPRO_WARMUP or 2000)")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory "
+                        "(default: $REPRO_SWEEP_CACHE or .repro_sweep_cache)")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description="parallel, cached, resumable experiment sweeps",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_p = sub.add_parser("list", help="enumerate jobs and cache state")
+    _add_sweep_options(list_p)
+
+    run_p = sub.add_parser("run", help="execute the sweep")
+    _add_sweep_options(run_p)
+    run_p.add_argument("--jobs", type=int, default=None,
+                       help="worker processes "
+                            "(default: $REPRO_SWEEP_JOBS or 1)")
+    run_p.add_argument("--resume", action="store_true",
+                       help="reuse cached results (the default; flag kept "
+                            "for explicit resume-after-interrupt runs)")
+    run_p.add_argument("--force", action="store_true",
+                       help="ignore cached results and recompute everything")
+    run_p.add_argument("--retries", type=int, default=2,
+                       help="retry rounds for failed jobs (default 2)")
+    run_p.add_argument("--manifest", default=None,
+                       help="write a JSON run manifest to this path")
+
+    status_p = sub.add_parser("status", help="cached/missing breakdown")
+    _add_sweep_options(status_p)
+
+    clean_p = sub.add_parser("clean", help="delete every cache entry")
+    _add_sweep_options(clean_p)
+
+    args = parser.parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "status": _cmd_status,
+        "clean": _cmd_clean,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""Job enumeration: hashable, serialisable simulation job specs.
+
+A :class:`JobSpec` is the complete, immutable description of one
+simulation: the full :class:`~repro.config.system.SystemConfig` (carried
+as canonical JSON so the spec itself is hashable), the GPU/CPU workload
+pair and the warmup/measured window.  Its :meth:`~JobSpec.key` is a
+content hash over everything that can influence the
+:class:`~repro.sim.metrics.SimulationResult`, salted with a code-version
+string so cache entries are invalidated when simulator semantics change.
+
+The ``label`` field is bookkeeping only (e.g. the ``(gpu, cpu,
+mechanism)`` triple the experiment modules key their sweeps by) and is
+deliberately excluded from the hash: two specs describing the same
+simulation share one cache entry regardless of how callers name them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.config.loader import config_from_dict
+from repro.config.system import SystemConfig
+
+#: bump when a change to the simulator alters results for identical
+#: configs — every on-disk cache entry becomes stale at once.
+CODE_VERSION = "sweep-v1"
+
+
+def code_salt() -> str:
+    """The cache-key salt (``REPRO_SWEEP_SALT`` overrides the built-in)."""
+    return os.environ.get("REPRO_SWEEP_SALT", CODE_VERSION)
+
+
+def _canonical_json(data: Any) -> str:
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+@dataclasses.dataclass(frozen=True)
+class JobSpec:
+    """One simulation job: config + workload + window.  Hashable."""
+
+    config_json: str
+    gpu: str
+    cpu: Optional[str]
+    cycles: int
+    warmup: int
+    kernel_flush_interval: int = 0
+    #: display/bookkeeping label; NOT part of the cache key.
+    label: Tuple[str, ...] = ()
+
+    @classmethod
+    def make(
+        cls,
+        config: Union[SystemConfig, Dict[str, Any]],
+        gpu: str,
+        cpu: Optional[str] = None,
+        cycles: int = 3000,
+        warmup: int = 2000,
+        kernel_flush_interval: int = 0,
+        label: Sequence[str] = (),
+    ) -> "JobSpec":
+        if isinstance(config, SystemConfig):
+            config = config.to_dict()
+        return cls(
+            config_json=_canonical_json(config),
+            gpu=gpu,
+            cpu=cpu,
+            cycles=int(cycles),
+            warmup=int(warmup),
+            kernel_flush_interval=int(kernel_flush_interval),
+            label=tuple(label),
+        )
+
+    # -- identity ---------------------------------------------------------
+
+    def key(self) -> str:
+        """Content hash of everything that determines the result."""
+        payload = _canonical_json(
+            {
+                "salt": code_salt(),
+                "config": json.loads(self.config_json),
+                "gpu": self.gpu,
+                "cpu": self.cpu,
+                "cycles": self.cycles,
+                "warmup": self.warmup,
+                "kernel_flush_interval": self.kernel_flush_interval,
+            }
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # -- materialisation --------------------------------------------------
+
+    def system_config(self) -> SystemConfig:
+        """Rebuild the full :class:`SystemConfig` this spec describes."""
+        return config_from_dict(json.loads(self.config_json))
+
+    def describe(self) -> str:
+        if self.label:
+            return "/".join(self.label)
+        mech = json.loads(self.config_json).get("mechanism", "?")
+        return f"{self.gpu}/{self.cpu or '-'}/{mech}"
+
+    # -- wire format (manifests, worker payloads) -------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        d = dataclasses.asdict(self)
+        d["label"] = list(self.label)
+        return d
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobSpec":
+        data = dict(data)
+        data["label"] = tuple(data.get("label", ()))
+        return cls(**data)
+
+
+def dedupe(specs: Sequence[JobSpec]) -> List[JobSpec]:
+    """Drop specs whose key duplicates an earlier one (order-preserving)."""
+    seen = set()
+    out: List[JobSpec] = []
+    for spec in specs:
+        k = spec.key()
+        if k not in seen:
+            seen.add(k)
+            out.append(spec)
+    return out
+
+
+def mechanism_jobs(
+    benchmarks: Optional[Sequence[str]] = None,
+    n_mixes: int = 1,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
+    mechanisms: Optional[Sequence[str]] = None,
+) -> List[JobSpec]:
+    """Enumerate the paper's mechanism sweep (Figs. 10-14, energy study).
+
+    The cross product of (GPU benchmark x Table II CPU co-runner x
+    mechanism), labelled ``(gpu, cpu, mechanism)`` — the key the
+    experiment modules index their sweeps by.
+    """
+    # imported lazily: experiments.common routes its sweep through this
+    # package, so a module-level import would be circular
+    from repro.experiments.common import (
+        MECHANISMS,
+        cpu_corunners,
+        default_benchmarks,
+        default_cycles,
+        default_warmup,
+        mechanism_config,
+    )
+
+    benchmarks = list(benchmarks or default_benchmarks())
+    mechanisms = tuple(mechanisms or MECHANISMS)
+    cycles = default_cycles() if cycles is None else cycles
+    warmup = default_warmup() if warmup is None else warmup
+    specs: List[JobSpec] = []
+    for gpu in benchmarks:
+        for cpu in cpu_corunners(gpu, n_mixes):
+            for mech in mechanisms:
+                specs.append(
+                    JobSpec.make(
+                        mechanism_config(mech),
+                        gpu,
+                        cpu,
+                        cycles=cycles,
+                        warmup=warmup,
+                        label=(gpu, cpu, mech),
+                    )
+                )
+    return specs

@@ -1,0 +1,285 @@
+"""The sweep runner: fan simulation jobs out over worker processes.
+
+Execution model:
+
+* Specs are deduplicated by content key, then partitioned into cache
+  hits (returned instantly) and pending jobs.
+* Pending jobs run on a ``ProcessPoolExecutor`` (``jobs`` workers); with
+  one worker — or a single job — they run inline in this process, which
+  is also the reference path the determinism tests compare against.
+* Each result is persisted to the :class:`ResultCache` *as it arrives*,
+  so an interrupted sweep resumes from exactly the jobs that finished.
+* Failed jobs are retried in later rounds with capped exponential
+  backoff between rounds; a job that exhausts its attempts is reported
+  as ``failed`` without aborting the rest of the sweep.
+
+Simulations are deterministic functions of their :class:`JobSpec`, so
+the parallel and inline paths produce bit-identical
+:class:`SimulationResult` payloads — the test suite enforces this.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.sim.metrics import SimulationResult
+from repro.sweep.cache import ENV_CACHE_DIR, ResultCache
+from repro.sweep.jobs import JobSpec, dedupe
+
+ENV_JOBS = "REPRO_SWEEP_JOBS"
+
+
+def default_jobs() -> int:
+    """Worker count when unspecified (``REPRO_SWEEP_JOBS``, default 1)."""
+    return max(1, int(os.environ.get(ENV_JOBS, "1")))
+
+
+def simulate_job(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: run one job and return its serialised result.
+
+    Takes and returns plain dicts so the payload pickles cheaply and the
+    parent never depends on worker-side object identity.
+    """
+    from repro.sim.simulator import run_simulation
+
+    spec = JobSpec.from_dict(spec_dict)
+    t0 = time.perf_counter()
+    result = run_simulation(
+        spec.system_config(),
+        spec.gpu,
+        spec.cpu,
+        cycles=spec.cycles,
+        warmup=spec.warmup,
+        kernel_flush_interval=spec.kernel_flush_interval,
+    )
+    return {
+        "result": result.to_dict(),
+        "wall_time_s": time.perf_counter() - t0,
+    }
+
+
+@dataclass
+class JobOutcome:
+    """Execution record of one deduplicated job."""
+
+    spec: JobSpec
+    key: str
+    status: str = "pending"      # "ok" | "cached" | "failed"
+    result: Optional[SimulationResult] = None
+    wall_time_s: float = 0.0
+    attempts: int = 0
+    error: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        d = {
+            "key": self.key,
+            "label": list(self.spec.label) or [self.spec.describe()],
+            "gpu": self.spec.gpu,
+            "cpu": self.spec.cpu,
+            "cycles": self.spec.cycles,
+            "warmup": self.spec.warmup,
+            "status": self.status,
+            "wall_time_s": round(self.wall_time_s, 4),
+            "attempts": self.attempts,
+        }
+        if self.error:
+            d["error"] = self.error
+        return d
+
+
+class SweepError(RuntimeError):
+    """Raised by :func:`run_sweep` when jobs exhaust their retries."""
+
+    def __init__(self, failed: List[JobOutcome]) -> None:
+        self.failed = failed
+        lines = "; ".join(
+            f"{o.spec.describe()}: {o.error}" for o in failed[:5]
+        )
+        super().__init__(f"{len(failed)} sweep job(s) failed: {lines}")
+
+
+ProgressFn = Callable[[JobOutcome, int, int], None]
+
+
+class SweepRunner:
+    """Run :class:`JobSpec` batches with caching, retries and telemetry."""
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        jobs: Optional[int] = None,
+        max_retries: int = 2,
+        backoff_base_s: float = 0.25,
+        backoff_cap_s: float = 4.0,
+        worker: Callable[[Dict[str, Any]], Dict[str, Any]] = simulate_job,
+        use_cache: bool = True,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        self.cache = cache
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.max_retries = max(0, int(max_retries))
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.worker = worker
+        self.use_cache = use_cache
+        self.progress = progress
+
+    # -- public API -------------------------------------------------------
+
+    def run(self, specs: Sequence[JobSpec]) -> Dict[str, JobOutcome]:
+        """Execute every unique spec; outcomes keyed by content hash.
+
+        Completed results are cached on disk the moment they arrive, so
+        interrupting this call loses only in-flight jobs.
+        """
+        unique = dedupe(specs)
+        outcomes = {s.key(): JobOutcome(spec=s, key=s.key()) for s in unique}
+        total = len(unique)
+        done = 0
+
+        pending: List[JobOutcome] = []
+        for out in outcomes.values():
+            hit = (
+                self.cache.get(out.key)
+                if (self.use_cache and self.cache is not None)
+                else None
+            )
+            if hit is not None:
+                out.status = "cached"
+                out.result = hit
+                done += 1
+                self._report(out, done, total)
+            else:
+                pending.append(out)
+
+        for round_no in range(1 + self.max_retries):
+            if not pending:
+                break
+            if round_no:
+                time.sleep(self._backoff(round_no))
+            if self.jobs == 1 or len(pending) == 1:
+                failures = self._run_inline(pending, lambda: done, total)
+            else:
+                failures = self._run_pool(pending, lambda: done, total)
+            done += len(pending) - len(failures)
+            pending = failures
+        for out in pending:
+            out.status = "failed"
+        return outcomes
+
+    # -- internals --------------------------------------------------------
+
+    def _backoff(self, round_no: int) -> float:
+        return min(
+            self.backoff_cap_s, self.backoff_base_s * (2 ** (round_no - 1))
+        )
+
+    def _report(self, outcome: JobOutcome, done: int, total: int) -> None:
+        if self.progress is not None:
+            self.progress(outcome, done, total)
+
+    def _complete(self, out: JobOutcome, payload: Dict[str, Any]) -> None:
+        out.result = SimulationResult.from_dict(payload["result"])
+        out.wall_time_s = float(payload.get("wall_time_s", 0.0))
+        out.status = "ok"
+        out.error = ""
+        if self.cache is not None:
+            self.cache.put(
+                out.spec,
+                out.result,
+                meta={
+                    "wall_time_s": out.wall_time_s,
+                    "attempts": out.attempts,
+                },
+            )
+
+    def _run_inline(
+        self, pending: List[JobOutcome], done_base, total: int
+    ) -> List[JobOutcome]:
+        failures: List[JobOutcome] = []
+        completed = 0
+        for out in pending:
+            out.attempts += 1
+            try:
+                payload = self.worker(out.spec.to_dict())
+            except Exception as exc:  # noqa: BLE001 - retried, then surfaced
+                out.error = f"{type(exc).__name__}: {exc}"
+                failures.append(out)
+                continue
+            self._complete(out, payload)
+            completed += 1
+            self._report(out, done_base() + completed, total)
+        return failures
+
+    def _run_pool(
+        self, pending: List[JobOutcome], done_base, total: int
+    ) -> List[JobOutcome]:
+        failures: List[JobOutcome] = []
+        completed = 0
+        workers = min(self.jobs, len(pending))
+        executor = ProcessPoolExecutor(max_workers=workers)
+        try:
+            futures = {}
+            for out in pending:
+                out.attempts += 1
+                futures[executor.submit(self.worker, out.spec.to_dict())] = out
+            waiting = set(futures)
+            while waiting:
+                finished, waiting = wait(waiting, return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    out = futures[fut]
+                    try:
+                        payload = fut.result()
+                    except Exception as exc:  # noqa: BLE001 - retried
+                        out.error = f"{type(exc).__name__}: {exc}"
+                        failures.append(out)
+                        continue
+                    self._complete(out, payload)
+                    completed += 1
+                    self._report(out, done_base() + completed, total)
+        except BaseException:
+            # interrupt or pool breakage: everything persisted so far is
+            # on disk; drop in-flight work and surface the exception
+            executor.shutdown(wait=False, cancel_futures=True)
+            raise
+        executor.shutdown(wait=True)
+        return failures
+
+
+def run_sweep(
+    specs: Sequence[JobSpec],
+    jobs: Optional[int] = None,
+    cache: Union[ResultCache, str, Path, None] = "auto",
+    use_cache: bool = True,
+    max_retries: int = 2,
+    progress: Optional[ProgressFn] = None,
+) -> Dict[str, SimulationResult]:
+    """Run a batch of specs and return ``{key: SimulationResult}``.
+
+    ``cache="auto"`` (the default) persists to disk only when
+    ``REPRO_SWEEP_CACHE`` is set, keeping plain library calls hermetic;
+    pass a directory (or :class:`ResultCache`) to force persistence, or
+    ``None`` to disable it.  Raises :class:`SweepError` if any job still
+    fails after retries.
+    """
+    if cache == "auto":
+        cache = ResultCache() if os.environ.get(ENV_CACHE_DIR) else None
+    elif cache is not None and not isinstance(cache, ResultCache):
+        cache = ResultCache(cache)
+    runner = SweepRunner(
+        cache=cache,
+        jobs=jobs,
+        max_retries=max_retries,
+        use_cache=use_cache,
+        progress=progress,
+    )
+    outcomes = runner.run(specs)
+    failed = [o for o in outcomes.values() if o.status == "failed"]
+    if failed:
+        raise SweepError(failed)
+    return {k: o.result for k, o in outcomes.items()}

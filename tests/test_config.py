@@ -133,3 +133,53 @@ class TestCopySemantics:
 
     def test_config_is_dataclass(self):
         assert dataclasses.is_dataclass(SystemConfig)
+
+
+class TestStableSerialisation:
+    """`to_dict`/`config_hash`: the sweep cache key's foundation."""
+
+    def test_to_dict_is_json_compatible(self):
+        import json
+
+        d = delegated_replies_config().to_dict()
+        assert d["mechanism"] == "delegated_replies"
+        assert d["delegation"]["enabled"] is True
+        json.dumps(d)  # no enums or dataclasses left behind
+
+    def test_round_trips_through_loader(self):
+        from repro.config import config_from_dict
+
+        for factory in (baseline_config, delegated_replies_config,
+                        realistic_probing_config):
+            cfg = factory()
+            again = config_from_dict(cfg.to_dict())
+            assert again == cfg
+            assert again.config_hash() == cfg.config_hash()
+
+    def test_hash_is_order_independent(self):
+        from repro.config import config_from_dict
+
+        a = config_from_dict(
+            {"mechanism": "delegated_replies",
+             "noc": {"channel_width_bytes": 8, "vcs_per_port": 4}}
+        )
+        b = config_from_dict(
+            {"noc": {"vcs_per_port": 4, "channel_width_bytes": 8},
+             "mechanism": "delegated_replies"}
+        )
+        assert a.config_hash() == b.config_hash()
+
+    def test_hash_tracks_every_layer(self):
+        base = baseline_config()
+        top = base.copy(layout=Layout.EDGE)
+        nested = baseline_config()
+        nested.dram.banks = 8
+        hashes = {base.config_hash(), top.config_hash(),
+                  nested.config_hash(),
+                  delegated_replies_config().config_hash()}
+        assert len(hashes) == 4
+
+    def test_hash_is_stable_across_calls(self):
+        cfg = baseline_config()
+        assert cfg.config_hash() == cfg.config_hash()
+        assert len(cfg.config_hash()) == 64

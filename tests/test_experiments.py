@@ -153,3 +153,27 @@ class TestFigureModules:
         r = fig02_locality.run(benchmarks=["HS"], **FAST)
         assert r.text.startswith("==")
         assert str(r) == r.text
+
+
+class TestCallTimeWindowDefaults:
+    """REPRO_CYCLES/REPRO_WARMUP are read at call time, not import time."""
+
+    def test_defaults_follow_env_after_import(self, monkeypatch):
+        import repro.experiments as experiments
+        from repro.experiments import common
+
+        monkeypatch.setenv("REPRO_CYCLES", "555")
+        monkeypatch.setenv("REPRO_WARMUP", "333")
+        assert common.default_cycles() == 555
+        assert common.default_warmup() == 333
+        # the legacy module constants resolve dynamically too
+        assert common.DEFAULT_CYCLES == 555
+        assert experiments.DEFAULT_WARMUP == 333
+        monkeypatch.delenv("REPRO_CYCLES")
+        assert common.default_cycles() == 3000
+
+    def test_mechanism_sweep_uses_env_windows(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CYCLES", "180")
+        monkeypatch.setenv("REPRO_WARMUP", "120")
+        sweep = mechanism_sweep(("HS",), 1, mechanisms=("baseline",))
+        assert sweep[("HS", "bodytrack", "baseline")].cycles == 180

@@ -1,0 +1,243 @@
+"""Tests for the ``repro.sweep`` subsystem.
+
+Covers spec hashing, the on-disk result cache, the runner's retry and
+resume behaviour, and the determinism contract: a parallel sweep must
+produce byte-identical ``SimulationResult`` payloads to the one-worker
+path and to the pre-refactor sequential ``run_simulation`` loop.
+"""
+
+import json
+
+import pytest
+
+from repro.config import baseline_config, delegated_replies_config
+from repro.sim.simulator import run_simulation
+from repro.sweep import (
+    JobSpec,
+    ResultCache,
+    SweepError,
+    SweepRunner,
+    dedupe,
+    mechanism_jobs,
+    run_sweep,
+)
+
+TINY = dict(cycles=200, warmup=120)
+
+
+def tiny_spec(**overrides) -> JobSpec:
+    kwargs = dict(
+        config=baseline_config(), gpu="HS", cpu="bodytrack", **TINY
+    )
+    kwargs.update(overrides)
+    return JobSpec.make(**kwargs)
+
+
+def result_bytes(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+class TestJobSpec:
+    def test_hashable_and_deduplicates(self):
+        a, b = tiny_spec(), tiny_spec()
+        assert a == b
+        assert len({a, b}) == 1
+        assert dedupe([a, b]) == [a]
+
+    def test_key_is_stable(self):
+        assert tiny_spec().key() == tiny_spec().key()
+
+    def test_label_excluded_from_key(self):
+        assert tiny_spec().key() == tiny_spec(label=("x", "y")).key()
+
+    def test_key_tracks_inputs(self):
+        base = tiny_spec()
+        assert base.key() != tiny_spec(config=delegated_replies_config()).key()
+        assert base.key() != tiny_spec(cycles=TINY["cycles"] + 1).key()
+        assert base.key() != tiny_spec(gpu="SC").key()
+        assert base.key() != tiny_spec(cpu=None).key()
+
+    def test_salt_invalidates_keys(self, monkeypatch):
+        before = tiny_spec().key()
+        monkeypatch.setenv("REPRO_SWEEP_SALT", "different-code")
+        assert tiny_spec().key() != before
+
+    def test_wire_round_trip(self):
+        spec = tiny_spec(label=("HS", "bodytrack", "baseline"))
+        again = JobSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.key() == spec.key()
+
+    def test_system_config_round_trips(self):
+        cfg = delegated_replies_config()
+        assert JobSpec.make(cfg, "HS", **TINY).system_config() == cfg
+
+
+class TestResultCache:
+    def test_miss_returns_none(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("0" * 64) is None
+        assert not cache.contains("0" * 64)
+
+    def test_put_get_bit_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = tiny_spec()
+        result = run_simulation(spec.system_config(), "HS", "bodytrack", **TINY)
+        key = cache.put(spec, result, meta={"wall_time_s": 0.1})
+        assert key == spec.key()
+        assert cache.contains(key)
+        assert result_bytes(cache.get(key)) == result_bytes(result)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        p = cache.path(key)
+        p.parent.mkdir(parents=True)
+        p.write_text("{not json")
+        assert cache.get(key) is None
+        assert not p.exists()  # evicted
+
+    def test_clear_and_keys(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = tiny_spec()
+        result = run_simulation(spec.system_config(), "HS", "bodytrack", **TINY)
+        cache.put(spec, result)
+        assert list(cache.keys()) == [spec.key()]
+        assert cache.size_bytes() > 0
+        assert cache.clear() == 1
+        assert list(cache.keys()) == []
+
+
+def _ok_payload(spec_dict):
+    """Stand-in worker: a fake result derived from the spec (no simulation)."""
+    from repro.sim.metrics import SimulationResult
+
+    spec = JobSpec.from_dict(spec_dict)
+    result = SimulationResult(cycles=spec.cycles, counters={"gpu.insts": 7.0})
+    return {"result": result.to_dict(), "wall_time_s": 0.01}
+
+
+class TestRunner:
+    def test_inline_success_persists_to_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(cache=cache, jobs=1, worker=_ok_payload)
+        spec = tiny_spec()
+        outcomes = runner.run([spec])
+        out = outcomes[spec.key()]
+        assert out.status == "ok" and out.attempts == 1
+        assert cache.contains(spec.key())
+
+    def test_retries_then_succeeds(self, tmp_path):
+        calls = {"n": 0}
+
+        def flaky(spec_dict):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RuntimeError("transient")
+            return _ok_payload(spec_dict)
+
+        runner = SweepRunner(
+            cache=ResultCache(tmp_path), jobs=1, max_retries=2,
+            backoff_base_s=0.0, worker=flaky,
+        )
+        out = runner.run([tiny_spec()])[tiny_spec().key()]
+        assert out.status == "ok"
+        assert out.attempts == 3
+
+    def test_backoff_is_capped(self):
+        runner = SweepRunner(backoff_base_s=1.0, backoff_cap_s=2.5)
+        assert runner._backoff(1) == 1.0
+        assert runner._backoff(2) == 2.0
+        assert runner._backoff(3) == 2.5
+        assert runner._backoff(10) == 2.5
+
+    def test_exhausted_retries_fail_without_aborting(self, tmp_path):
+        def broken(spec_dict):
+            spec = JobSpec.from_dict(spec_dict)
+            if spec.gpu == "SC":
+                raise RuntimeError("boom")
+            return _ok_payload(spec_dict)
+
+        good, bad = tiny_spec(), tiny_spec(gpu="SC")
+        runner = SweepRunner(
+            cache=ResultCache(tmp_path), jobs=1, max_retries=1,
+            backoff_base_s=0.0, worker=broken,
+        )
+        outcomes = runner.run([good, bad])
+        assert outcomes[good.key()].status == "ok"
+        failed = outcomes[bad.key()]
+        assert failed.status == "failed"
+        assert failed.attempts == 2
+        assert "boom" in failed.error
+
+    def test_run_sweep_raises_on_failure(self):
+        bad = tiny_spec(gpu="NO_SUCH_BENCH")
+        with pytest.raises(SweepError, match="NO_SUCH_BENCH"):
+            run_sweep([bad], jobs=1, cache=None, max_retries=0)
+
+    def test_resume_serves_from_cache_without_workers(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = tiny_spec()
+        first = SweepRunner(cache=cache, jobs=1, worker=_ok_payload).run([spec])
+
+        def must_not_run(spec_dict):
+            raise AssertionError("worker invoked despite cached result")
+
+        second = SweepRunner(cache=cache, jobs=1, worker=must_not_run).run([spec])
+        out = second[spec.key()]
+        assert out.status == "cached"
+        assert result_bytes(out.result) == result_bytes(first[spec.key()].result)
+
+    def test_force_recompute_ignores_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = tiny_spec()
+        SweepRunner(cache=cache, jobs=1, worker=_ok_payload).run([spec])
+        runner = SweepRunner(
+            cache=cache, jobs=1, worker=_ok_payload, use_cache=False
+        )
+        assert runner.run([spec])[spec.key()].status == "ok"
+
+    def test_progress_telemetry(self, tmp_path):
+        seen = []
+
+        def progress(outcome, done, total):
+            seen.append((outcome.status, done, total))
+
+        specs = [tiny_spec(), tiny_spec(gpu="SC")]
+        SweepRunner(
+            cache=ResultCache(tmp_path), jobs=1, worker=_ok_payload,
+            progress=progress,
+        ).run(specs)
+        assert seen == [("ok", 1, 2), ("ok", 2, 2)]
+
+    def test_auto_cache_follows_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "c"))
+        spec = tiny_spec()
+        run_sweep([spec])
+        assert ResultCache(tmp_path / "c").contains(spec.key())
+
+
+class TestDeterminism:
+    """Satellite: --jobs 4 == --jobs 1 == the pre-refactor sequential path."""
+
+    def test_parallel_serial_and_legacy_paths_bit_identical(self):
+        specs = mechanism_jobs(["HS"], n_mixes=1, **TINY)
+        assert len(specs) == 3  # baseline, rp, dr
+
+        # pre-refactor sequential path: a bare run_simulation loop
+        legacy = {
+            spec.key(): run_simulation(
+                spec.system_config(), spec.gpu, spec.cpu, **TINY
+            )
+            for spec in specs
+        }
+        serial = run_sweep(specs, jobs=1, cache=None)
+        parallel = run_sweep(specs, jobs=4, cache=None)
+
+        for spec in specs:
+            k = spec.key()
+            assert (
+                result_bytes(serial[k])
+                == result_bytes(parallel[k])
+                == result_bytes(legacy[k])
+            ), f"results diverge for {spec.describe()}"

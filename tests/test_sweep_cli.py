@@ -1,0 +1,75 @@
+"""Tests for the ``python -m repro.sweep`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.sweep.__main__ import main
+
+SWEEP = ["--benchmarks", "HS", "--mechanisms", "baseline",
+         "--cycles", "150", "--warmup", "100"]
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return str(tmp_path / "cache")
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+class TestRun:
+    def test_run_then_resume_from_cache(self, cache_dir, tmp_path, capsys):
+        manifest = tmp_path / "manifest.json"
+        rc = run_cli("run", *SWEEP, "--jobs", "1",
+                     "--cache-dir", cache_dir, "--manifest", str(manifest))
+        assert rc == 0
+        data = json.loads(manifest.read_text())
+        assert data["totals"] == {"ok": 1, "cached": 0, "failed": 0}
+        (job,) = data["jobs"]
+        assert job["label"] == ["HS", "bodytrack", "baseline"]
+        assert job["status"] == "ok"
+        assert job["attempts"] == 1
+        assert job["wall_time_s"] > 0
+
+        rc = run_cli("run", *SWEEP, "--jobs", "1", "--resume",
+                     "--cache-dir", cache_dir, "--manifest", str(manifest))
+        assert rc == 0
+        data = json.loads(manifest.read_text())
+        assert data["totals"] == {"ok": 0, "cached": 1, "failed": 0}
+
+    def test_force_recomputes(self, cache_dir, capsys):
+        assert run_cli("run", *SWEEP, "--cache-dir", cache_dir) == 0
+        assert run_cli("run", *SWEEP, "--force", "--cache-dir", cache_dir) == 0
+        out = capsys.readouterr().out
+        assert "1 simulated, 0 from cache" in out
+
+
+class TestIntrospection:
+    def test_list_shows_cache_state(self, cache_dir, capsys):
+        run_cli("list", *SWEEP, "--cache-dir", cache_dir)
+        out = capsys.readouterr().out
+        assert "1 job(s)" in out and "missing" in out
+
+        run_cli("run", *SWEEP, "--cache-dir", cache_dir)
+        capsys.readouterr()
+        run_cli("list", *SWEEP, "--cache-dir", cache_dir)
+        out = capsys.readouterr().out
+        assert "cached" in out and "missing" not in out
+
+    def test_status_counts(self, cache_dir, capsys):
+        run_cli("status", *SWEEP, "--cache-dir", cache_dir)
+        assert "0/1 job(s) cached" in capsys.readouterr().out
+        run_cli("run", *SWEEP, "--cache-dir", cache_dir)
+        capsys.readouterr()
+        run_cli("status", *SWEEP, "--cache-dir", cache_dir)
+        assert "1/1 job(s) cached" in capsys.readouterr().out
+
+    def test_clean_empties_cache(self, cache_dir, capsys):
+        run_cli("run", *SWEEP, "--cache-dir", cache_dir)
+        capsys.readouterr()
+        assert run_cli("clean", "--cache-dir", cache_dir) == 0
+        assert "removed 1" in capsys.readouterr().out
+        run_cli("status", *SWEEP, "--cache-dir", cache_dir)
+        assert "0/1 job(s) cached" in capsys.readouterr().out
