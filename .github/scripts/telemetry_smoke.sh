@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI check: a traced simulation produces a trace the telemetry CLI can
+# report on, including per-class latency percentiles and at least one
+# detected clogging episode on the paper's high-GPU-load scenario
+# (SC on the 8x8 mesh saturates the memory nodes' reply paths).
+# The caller wraps this script in `timeout 60`.
+set -euo pipefail
+
+TRACE=/tmp/telemetry-smoke.bin
+rm -f "$TRACE"
+
+python -m repro.telemetry trace --out "$TRACE" --format bin \
+  --gpu SC --mechanism baseline --cycles 1500 --warmup 500 \
+  --probe-interval 100
+
+echo "--- report ---"
+python -m repro.telemetry report "$TRACE" | tee /tmp/telemetry-report.txt
+echo "--- events ---"
+python -m repro.telemetry events "$TRACE" | tee /tmp/telemetry-events.txt
+
+# per-class latency percentiles are present for both networks
+grep -q "latency percentiles" /tmp/telemetry-report.txt
+grep -q "reply *GPU" /tmp/telemetry-report.txt
+grep -q "request *CPU" /tmp/telemetry-report.txt
+# the clogging detector fired on the canonical clogging workload
+grep -q "clogging episode(s)" /tmp/telemetry-events.txt
+echo "telemetry smoke OK"

@@ -28,10 +28,17 @@ import argparse
 import json
 import sys
 
-from repro.bench.harness import BENCH_CONFIGS, run_bench, run_sweep_throughput
+from repro.bench.harness import (
+    BENCH_CONFIGS,
+    run_bench,
+    run_sweep_throughput,
+    run_telemetry_overhead,
+)
 
 #: pseudo-config measuring the repro.sweep runner, not a bare fabric
 SWEEP_BENCH = "sweep_throughput"
+#: pseudo-config measuring enabled-telemetry cost on mesh8x8_dr
+TELEMETRY_BENCH = "telemetry_overhead"
 
 
 def main(argv=None) -> int:
@@ -44,7 +51,9 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="quarter-length run (CI smoke budget)")
     parser.add_argument("--configs", nargs="+", default=None,
-                        choices=sorted([*BENCH_CONFIGS, SWEEP_BENCH]),
+                        choices=sorted(
+                            [*BENCH_CONFIGS, SWEEP_BENCH, TELEMETRY_BENCH]
+                        ),
                         help="subset of configs to run")
     parser.add_argument("--reference", action="store_true",
                         help="use full-scan reference stepping")
@@ -52,9 +61,20 @@ def main(argv=None) -> int:
                         help="output JSON path")
     args = parser.parse_args(argv)
 
-    names = args.configs or [*BENCH_CONFIGS, SWEEP_BENCH]
+    names = args.configs or [*BENCH_CONFIGS, SWEEP_BENCH, TELEMETRY_BENCH]
     results = {}
     for name in names:
+        if name == TELEMETRY_BENCH:
+            res = run_telemetry_overhead(
+                cycles=args.cycles or (1000 if args.quick else 4000)
+            )
+            results[name] = res.as_dict()
+            print(
+                f"{name:>12}: {res.cycles_per_sec:>8.1f} cycles/s off, "
+                f"{res.extra['enabled_cycles_per_sec']:.1f} on "
+                f"({res.extra['overhead_pct']:+.1f}%)"
+            )
+            continue
         if name == SWEEP_BENCH:
             res = run_sweep_throughput(
                 cycles=150 if args.quick else 300,

@@ -254,6 +254,35 @@ class ProbingConfig:
 
 
 @dataclass
+class TelemetryConfig:
+    """Observability knobs (the :mod:`repro.telemetry` subsystem).
+
+    Telemetry is strictly read-only instrumentation: enabling it must
+    never change simulation results, so this section is excluded from
+    sweep cache keys (:meth:`repro.sweep.jobs.JobSpec.key`).
+    """
+
+    enabled: bool = False
+    #: per-packet trace destination; empty = aggregate-only (histograms,
+    #: window probes and clogging detection, but no per-packet I/O).
+    trace_path: str = ""
+    #: ``jsonl`` (greppable) or ``bin`` (compact packed structs).
+    trace_format: str = "jsonl"
+    #: fraction of packets traced, decided by a stateless hash of the
+    #: packet id so every lifecycle event of a packet is kept or dropped
+    #: together (and the simulation's RNG streams are untouched).
+    sample_rate: float = 1.0
+    #: cycles per windowed probe of link/buffer/injection state.
+    probe_interval: int = 200
+    #: clogging-event detector: a memory node whose windowed reply-path
+    #: pressure (max of injection-buffer occupancy and blocked-cycle
+    #: fraction) stays >= this threshold ...
+    clog_threshold: float = 0.9
+    #: ... for at least this many consecutive windows is one episode.
+    clog_min_windows: int = 2
+
+
+@dataclass
 class SystemConfig:
     """Complete description of one simulated system."""
 
@@ -275,6 +304,7 @@ class SystemConfig:
     cpu_core: CpuCoreConfig = field(default_factory=CpuCoreConfig)
     delegation: DelegationConfig = field(default_factory=DelegationConfig)
     probing: ProbingConfig = field(default_factory=ProbingConfig)
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     seed: int = 42
     #: capacity scale applied to the GPU L1s and the LLC at system build.
     #: The paper simulates one billion instructions; this reproduction runs

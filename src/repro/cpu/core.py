@@ -17,7 +17,7 @@ CPU-GPU coherence boundary (Section IV): CPU replies are never delegated.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.cache.cache import MshrFile, SetAssociativeCache
@@ -25,6 +25,7 @@ from repro.config.system import SystemConfig
 from repro.mem.address import AddressMap
 from repro.noc.nic import NodeInterface
 from repro.noc.packet import MessageType, NetKind, Packet, TrafficClass
+from repro.telemetry.hist import LogHistogram
 from repro.workloads.cpu import CpuTraceGenerator
 
 
@@ -37,6 +38,11 @@ class CpuCoreStats:
     stall_cycles: int = 0
     replies: int = 0
     total_latency: int = 0
+    #: reply-latency distribution; the mean hides the tail the paper's
+    #: Fig. 12 argument rests on, so the full (log-bucketed) histogram is
+    #: kept alongside ``total_latency`` and flattened into the counter
+    #: snapshot for window diffing.
+    lat_hist: LogHistogram = field(default_factory=LogHistogram)
 
     @property
     def avg_latency(self) -> float:
@@ -86,9 +92,9 @@ class CpuCore:
         issued = self._issue_cycle.pop(block, None)
         # round-trip network latency: request issue to reply delivery.
         # This is what Netrace feeds back into CPU timing (Fig. 12).
-        self.stats.total_latency += (
-            cycle - issued if issued is not None else pkt.latency
-        )
+        latency = cycle - issued if issued is not None else pkt.latency
+        self.stats.total_latency += latency
+        self.stats.lat_hist.record(latency)
         self.l1.insert(block)
         if self.mshrs.has(block):
             self.mshrs.release(block)

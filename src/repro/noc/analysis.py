@@ -88,10 +88,13 @@ def render_mesh_heatmap(
     Each cell shows the router's role (G/C/M when a layout is given) and a
     shade proportional to the flits it routed — the memory column lighting
     up is the clogging signature.
+
+    Non-mesh topologies have no 2-D arrangement to draw, so the output
+    degrades to a per-router load table (same data, no spatial claim).
     """
     topo = net.topology
     if not isinstance(topo, MeshTopology):
-        raise TypeError("heatmap rendering needs a mesh topology")
+        return _render_router_table(net, layout)
     flits = [r.flits_routed for r in net.routers]
     peak = max(flits) or 1
     role_of = layout.role_of if layout is not None else (lambda n: "gpu")
@@ -108,3 +111,20 @@ def render_mesh_heatmap(
         rows.append(" ".join(cells))
     legend = f"(shade ~ flits routed; peak router = {peak} flits)"
     return "\n".join(rows + [legend])
+
+
+def _render_router_table(net: PhysicalNetwork, layout=None, width: int = 30) -> str:
+    """Per-router load table: the heatmap fallback for non-mesh topologies."""
+    topo_name = type(net.topology).__name__
+    flits = [r.flits_routed for r in net.routers]
+    peak = max(flits) or 1
+    role_of = layout.role_of if layout is not None else (lambda n: "gpu")
+    rows = [
+        f"({topo_name} has no mesh coordinates; per-router load table)",
+        f"{'router':>6} {'role':>4} {'flits':>10}  load",
+    ]
+    for rid, n in enumerate(flits):
+        bar = "#" * max(1 if n else 0, round(n / peak * width))
+        rows.append(f"{rid:>6} {role_of(rid):>4} {n:>10}  {bar}")
+    rows.append(f"(peak router = {peak} flits)")
+    return "\n".join(rows)

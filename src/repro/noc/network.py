@@ -41,6 +41,9 @@ class PhysicalNetwork:
         self.vc_range = vc_range_for
         self.bandwidth = max(1, round(cfg.bandwidth_factor))
         self.escape_vc_active = routing.adaptive
+        #: attached telemetry collector (None = disabled; hooks are one
+        #: ``is not None`` check each).
+        self.telemetry = None
         self.nics: List[NodeInterface] = []
         n = topology.n
         self.routers: List[Router] = []
@@ -158,6 +161,8 @@ class PhysicalNetwork:
             self.flits_delivered += pkt.size_flits
             key = int(pkt.mtype)
             self.delivered_by_type[key] = self.delivered_by_type.get(key, 0) + 1
+            if self.telemetry is not None:
+                self.telemetry.on_deliver(pkt, cycle)
             self.nics[rid].deliver(pkt, cycle)
 
     def count_link_flit(self, rid: int, oport: int) -> None:
@@ -351,6 +356,30 @@ class NocFabric:
         self._active_nics: set = set(mem_set)
         #: True restores the naive inject-every-NIC reference stepping.
         self.full_scan = False
+        #: attached telemetry collector (None = disabled).
+        self.telemetry = None
+
+    # -- telemetry ------------------------------------------------------
+
+    def attach_telemetry(self, collector) -> None:
+        """Point every hook site (NICs, networks) at ``collector``.
+
+        Telemetry is read-only instrumentation: attaching it must never
+        change simulation behaviour, only observe it.
+        """
+        self.telemetry = collector
+        for nic in self.nics:
+            nic.telemetry = collector
+        for net in self._net_list:
+            net.telemetry = collector
+
+    def detach_telemetry(self) -> None:
+        """Restore the disabled (all hooks ``None``) state."""
+        self.telemetry = None
+        for nic in self.nics:
+            nic.telemetry = None
+        for net in self._net_list:
+            net.telemetry = None
 
     # -- endpoint API ---------------------------------------------------
 

@@ -49,6 +49,9 @@ class NodeInterface:
         }
         #: called with (packet, cycle) when a packet is fully ejected here.
         self.handler: Optional[Callable[[Packet, int], None]] = None
+        #: attached :class:`~repro.telemetry.collector.TelemetryCollector`
+        #: (None when telemetry is disabled; every hook site is one check).
+        self.telemetry = None
         #: optional admission control for ejection (e.g. a full FRQ refuses
         #: delegated requests, back-pressuring the request network); see the
         #: ``eject_gate`` property below.
@@ -82,6 +85,8 @@ class NodeInterface:
         self.queues[pkt.net].append(pkt)
         self.packets_sent_net[pkt.net] += 1
         self.fabric.mark_nic_active(self.node_id)
+        if self.telemetry is not None:
+            self.telemetry.on_inject(pkt, cycle)
         return True
 
     # -- ejection (called by the network) ------------------------------
@@ -205,6 +210,8 @@ class NodeInterface:
                 break
             self._pop_head(net, pkt)
             pkt.injected = cycle
+            if self.telemetry is not None:
+                self.telemetry.on_vc_alloc(pkt, cycle, vc)
             is_tail = pkt.size_flits == 1
             accept(LOCAL_PORT, vc, pkt, is_tail, cycle)
             pushed_now += 1
@@ -340,6 +347,8 @@ class MemoryNodeNic(NodeInterface):
             self.packets_sent_net[NetKind.REQUEST] += 1
             self.delegations += 1
             done += 1
+            if self.telemetry is not None:
+                self.telemetry.on_delegate(pkt, delegated, cycle)
 
     @property
     def blocking_rate(self) -> float:

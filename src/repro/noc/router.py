@@ -145,6 +145,11 @@ class Router:
             q.append([pkt, 1, cycle + self.pipeline])
             owner_row[vc] = pkt
             self.active[(port, vc)] = q
+            # head-arrival telemetry: once per worm at its destination
+            # router only, so the disabled cost is one check per header
+            tel = self.net.telemetry
+            if tel is not None and pkt.dst == self.rid:
+                tel.on_head(pkt, cycle)
         self.occ[port][vc] += 1
         if is_tail:
             owner_row[vc] = None

@@ -14,6 +14,28 @@ from typing import Dict, Optional
 
 from repro.noc.packet import MessageType, NetKind
 from repro.sim.system import HeterogeneousSystem
+from repro.telemetry.hist import LogHistogram
+
+
+def _flatten_hist(c: Dict[str, float], prefix: str, buckets: Dict[int, int]) -> None:
+    """Write sparse histogram buckets as ``<prefix><idx>`` counter keys.
+
+    Buckets are monotonically increasing counts, so window diffing
+    (:func:`diff_counters`) subtracts them bucket-wise like any other
+    counter; :func:`_window_hist` rebuilds a histogram from the diff.
+    """
+    for idx in sorted(buckets):
+        c[f"{prefix}{idx}"] = buckets[idx]
+
+
+def _window_hist(window: Dict[str, float], prefix: str) -> LogHistogram:
+    """Rebuild a latency histogram from diffed ``<prefix><idx>`` keys."""
+    sparse = {
+        int(k[len(prefix):]): int(v)
+        for k, v in window.items()
+        if k.startswith(prefix)
+    }
+    return LogHistogram.from_sparse(sparse)
 
 
 def collect_counters(system: HeterogeneousSystem) -> Dict[str, float]:
@@ -31,15 +53,19 @@ def collect_counters(system: HeterogeneousSystem) -> Dict[str, float]:
     }
     gpu_data_flits = 0
     gpu_reply_flits = 0
+    gpu_hist: Dict[int, int] = {}
     for core in system.gpu_cores:
         s = core.stats
         for k in agg:
             agg[k] += getattr(s, k)
+        for idx, n in s.lat_hist.buckets.items():
+            gpu_hist[idx] = gpu_hist.get(idx, 0) + n
         nic = core.nic
         gpu_data_flits += nic.data_flits_received
         gpu_reply_flits += nic.flits_received[1]  # GPU-class flits
     for k, v in agg.items():
         c[f"gpu.{k}"] = v
+    _flatten_hist(c, "gpu.lat_hist.", gpu_hist)
     c["gpu.data_flits"] = gpu_data_flits
     c["gpu.frq_merge_opportunities"] = sum(
         core.frq.merge_opportunities for core in system.gpu_cores
@@ -61,6 +87,11 @@ def collect_counters(system: HeterogeneousSystem) -> Dict[str, float]:
         c[f"cpu.{name}"] = sum(
             getattr(core.stats, name) for core in system.cpu_cores
         )
+    cpu_hist: Dict[int, int] = {}
+    for core in system.cpu_cores:
+        for idx, n in core.stats.lat_hist.buckets.items():
+            cpu_hist[idx] = cpu_hist.get(idx, 0) + n
+    _flatten_hist(c, "cpu.lat_hist.", cpu_hist)
 
     # memory nodes
     c["mem.blocked_cycles"] = 0
@@ -126,6 +157,14 @@ class SimulationResult:
     gpu_ipc: float = 0.0
     cpu_ipc: float = 0.0
     cpu_avg_latency: float = 0.0
+    # reply-latency percentiles from the windowed log-bucketed histograms
+    # (bucket-midpoint values, relative error <= 2^-sub_bits)
+    cpu_latency_p50: float = 0.0
+    cpu_latency_p95: float = 0.0
+    cpu_latency_p99: float = 0.0
+    gpu_latency_p50: float = 0.0
+    gpu_latency_p95: float = 0.0
+    gpu_latency_p99: float = 0.0
     gpu_data_rate: float = 0.0          # data flits / cycle / GPU core
     mem_blocking_rate: float = 0.0
     mem_reply_link_utilization: float = 0.0
@@ -149,11 +188,14 @@ class SimulationResult:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "SimulationResult":
+        """Rebuild from :meth:`to_dict` output.
+
+        Unknown keys are ignored so cached sweep results written by newer
+        code (with extra fields) still load; missing fields fall back to
+        their dataclass defaults.
+        """
         names = {f.name for f in dataclasses.fields(cls)}
-        unknown = set(data) - names
-        if unknown:
-            raise ValueError(f"unknown SimulationResult fields: {sorted(unknown)}")
-        return cls(**data)
+        return cls(**{k: v for k, v in data.items() if k in names})
 
     @property
     def llc_direct_fraction(self) -> float:
@@ -200,6 +242,16 @@ def derive_result(system: HeterogeneousSystem, window: Dict[str, float]) -> Simu
         res.cpu_avg_latency = (
             window.get("cpu.total_latency", 0) / replies if replies else 0.0
         )
+        cpu_hist = _window_hist(window, "cpu.lat_hist.")
+        if cpu_hist.count:
+            res.cpu_latency_p50 = cpu_hist.percentile(50)
+            res.cpu_latency_p95 = cpu_hist.percentile(95)
+            res.cpu_latency_p99 = cpu_hist.percentile(99)
+    gpu_hist = _window_hist(window, "gpu.lat_hist.")
+    if gpu_hist.count:
+        res.gpu_latency_p50 = gpu_hist.percentile(50)
+        res.gpu_latency_p95 = gpu_hist.percentile(95)
+        res.gpu_latency_p99 = gpu_hist.percentile(99)
     res.gpu_data_rate = window.get("gpu.data_flits", 0) / cycles / max(1, cfg.n_gpu)
     observed = window.get("mem.observed_cycles", 0)
     res.mem_blocking_rate = (

@@ -79,4 +79,8 @@ def run_simulation(
     baseline = collect_counters(system)
     system.run(cycles)
     window = diff_counters(collect_counters(system), baseline)
+    if system.telemetry is not None:
+        # flush open clogging episodes, write histogram/summary records
+        # and close the trace sink
+        system.telemetry.finalize(system.cycle)
     return derive_result(system, window)

@@ -33,6 +33,7 @@ from repro.noc.nic import MemoryNodeNic
 from repro.noc.topology import build_topology
 from repro.sim.layout import NodePlacement, build_layout
 from repro.sim.memory_node import MemoryNode
+from repro.telemetry.collector import TelemetryCollector
 from repro.workloads.cpu import CpuBenchmarkProfile, CpuTraceGenerator
 from repro.workloads.gpu import (
     GpuBenchmarkProfile,
@@ -160,6 +161,16 @@ class HeterogeneousSystem:
             self.gpu_cores, self.memory_nodes
         )
 
+        # opt-in observability (repro.telemetry): attach a collector to
+        # every hook site.  Disabled configs leave every hook attribute
+        # None, so the per-event cost is a single check.
+        self.telemetry: Optional[TelemetryCollector] = None
+        if cfg.telemetry.enabled:
+            self.telemetry = TelemetryCollector(
+                cfg.telemetry, self.fabric, self.layout.mem_nodes
+            )
+            self.fabric.attach_telemetry(self.telemetry)
+
     def _build_l1(self, core_index: int):
         org = self.cfg.l1_org
         if org is L1Organization.PRIVATE:
@@ -191,6 +202,8 @@ class HeterogeneousSystem:
         for core in self.cpu_cores:
             core.step(cycle)
         self.fabric.step(cycle)
+        if self.telemetry is not None:
+            self.telemetry.on_cycle(cycle)
         self.cycle += 1
 
     def run(self, cycles: int) -> None:

@@ -27,7 +27,9 @@ from repro.config.system import SystemConfig
 
 #: bump when a change to the simulator alters results for identical
 #: configs — every on-disk cache entry becomes stale at once.
-CODE_VERSION = "sweep-v1"
+#: sweep-v2: results carry latency-histogram counters and percentile
+#: fields (repro.telemetry).
+CODE_VERSION = "sweep-v2"
 
 
 def code_salt() -> str:
@@ -78,11 +80,19 @@ class JobSpec:
     # -- identity ---------------------------------------------------------
 
     def key(self) -> str:
-        """Content hash of everything that determines the result."""
+        """Content hash of everything that determines the result.
+
+        The ``telemetry`` config section is excluded: tracing is
+        observation only (bit-identical counters with it on or off), so
+        a traced and an untraced run of the same config share one cache
+        entry.
+        """
+        config = json.loads(self.config_json)
+        config.pop("telemetry", None)
         payload = _canonical_json(
             {
                 "salt": code_salt(),
-                "config": json.loads(self.config_json),
+                "config": config,
                 "gpu": self.gpu,
                 "cpu": self.cpu,
                 "cycles": self.cycles,

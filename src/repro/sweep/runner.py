@@ -89,6 +89,17 @@ class JobOutcome:
         }
         if self.error:
             d["error"] = self.error
+        if self.result is not None:
+            # headline + histogram-derived tail metrics so manifests are
+            # usable without re-opening the cache
+            d["metrics"] = {
+                "cpu_avg_latency": round(self.result.cpu_avg_latency, 2),
+                "cpu_latency_p50": self.result.cpu_latency_p50,
+                "cpu_latency_p95": self.result.cpu_latency_p95,
+                "cpu_latency_p99": self.result.cpu_latency_p99,
+                "gpu_latency_p99": self.result.gpu_latency_p99,
+                "mem_blocking_rate": round(self.result.mem_blocking_rate, 4),
+            }
         return d
 
 

@@ -1,0 +1,65 @@
+"""Opt-in observability: packet traces, latency histograms, clog events.
+
+The paper's argument is about tails and episodes — reply packets clogging
+VCs, CPU requests stalling behind them — which window-averaged counters
+cannot show.  This package adds the missing instruments:
+
+* :class:`~repro.telemetry.hist.LogHistogram` — streaming HDR-style
+  latency histograms (p50/p95/p99/p99.9 without raw samples); always on
+  in the CPU/GPU cores and surfaced through ``SimulationResult``.
+* :class:`~repro.telemetry.collector.TelemetryCollector` — per-packet
+  lifecycle tracing through a :class:`~repro.telemetry.trace.TraceSink`
+  (JSONL or compact binary, with deterministic sampling), windowed
+  link/buffer/injection probes and a clogging-event detector.  Enabled
+  via ``SystemConfig.telemetry``; bit-identical and near-zero-cost when
+  disabled.
+* ``python -m repro.telemetry {trace,report,hist,timeline,events}`` — run
+  a traced simulation and render reports from trace files.
+"""
+
+from repro.telemetry.collector import CloggingDetector, TelemetryCollector
+from repro.telemetry.hist import (
+    DEFAULT_SUB_BITS,
+    LogHistogram,
+    bucket_bounds,
+    bucket_index,
+)
+from repro.telemetry.report import (
+    TraceSummary,
+    load_summary,
+    render_events,
+    render_hist,
+    render_report,
+    render_timeline,
+)
+from repro.telemetry.trace import (
+    BinaryTraceSink,
+    JsonlTraceSink,
+    NullTraceSink,
+    PACKET_EVENTS,
+    TraceSink,
+    open_sink,
+    read_trace,
+)
+
+__all__ = [
+    "BinaryTraceSink",
+    "CloggingDetector",
+    "DEFAULT_SUB_BITS",
+    "JsonlTraceSink",
+    "LogHistogram",
+    "NullTraceSink",
+    "PACKET_EVENTS",
+    "TelemetryCollector",
+    "TraceSink",
+    "TraceSummary",
+    "bucket_bounds",
+    "bucket_index",
+    "load_summary",
+    "open_sink",
+    "read_trace",
+    "render_events",
+    "render_hist",
+    "render_report",
+    "render_timeline",
+]

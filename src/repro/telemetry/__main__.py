@@ -1,0 +1,127 @@
+"""CLI entry point: ``python -m repro.telemetry``.
+
+Subcommands::
+
+    trace     run a traced simulation and write a trace file
+    report    headline view: events, per-class latency percentiles, episodes
+    hist      ASCII latency histograms (filter with --net / --cls)
+    timeline  per-window link-occupancy / injection-rate timeline
+    events    clogging-episode table
+
+Example — produce and inspect a trace of the paper's clogging scenario::
+
+    python -m repro.telemetry trace --out /tmp/sc.jsonl --gpu SC
+    python -m repro.telemetry report /tmp/sc.jsonl
+    python -m repro.telemetry events /tmp/sc.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.telemetry.report import (
+    load_summary,
+    render_events,
+    render_hist,
+    render_report,
+    render_timeline,
+)
+
+
+def _add_trace_parser(sub) -> None:
+    p = sub.add_parser(
+        "trace", help="run a traced simulation and write a trace file"
+    )
+    p.add_argument("--out", required=True, help="trace output path")
+    p.add_argument("--format", choices=("jsonl", "bin"), default="jsonl")
+    p.add_argument("--gpu", default="SC",
+                   help="GPU benchmark (default SC, the clogging-heavy one)")
+    p.add_argument("--cpu", default=None,
+                   help="CPU co-runner (default: the benchmark's first "
+                        "Table II mix)")
+    p.add_argument("--mechanism", choices=("baseline", "rp", "dr"),
+                   default="baseline")
+    p.add_argument("--cycles", type=int, default=2000)
+    p.add_argument("--warmup", type=int, default=1000)
+    p.add_argument("--sample-rate", type=float, default=1.0)
+    p.add_argument("--probe-interval", type=int, default=200)
+    p.add_argument("--clog-threshold", type=float, default=0.9)
+    p.add_argument("--clog-min-windows", type=int, default=2)
+
+
+def cmd_trace(args) -> int:
+    # simulator imports are deferred so the reader subcommands stay light
+    from repro.experiments.common import cpu_corunners, mechanism_config
+    from repro.sim.simulator import run_simulation
+
+    cfg = mechanism_config(args.mechanism)
+    tel = cfg.telemetry
+    tel.enabled = True
+    tel.trace_path = args.out
+    tel.trace_format = args.format
+    tel.sample_rate = args.sample_rate
+    tel.probe_interval = args.probe_interval
+    tel.clog_threshold = args.clog_threshold
+    tel.clog_min_windows = args.clog_min_windows
+    cpu = args.cpu or cpu_corunners(args.gpu, 1)[0]
+    result = run_simulation(
+        cfg, args.gpu, cpu, cycles=args.cycles, warmup=args.warmup
+    )
+    print(
+        f"traced {args.gpu}/{cpu}/{args.mechanism}: "
+        f"{args.warmup}+{args.cycles} cycles -> {args.out}"
+    )
+    print(
+        f"  cpu latency: avg {result.cpu_avg_latency:.1f}  "
+        f"p50 {result.cpu_latency_p50:.0f}  "
+        f"p95 {result.cpu_latency_p95:.0f}  "
+        f"p99 {result.cpu_latency_p99:.0f}"
+    )
+    print(
+        f"  mem blocking rate {result.mem_blocking_rate:.3f}  "
+        f"delegated fraction {result.delegated_fraction:.3f}"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="per-packet tracing, latency histograms and "
+        "clogging-event reports",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_trace_parser(sub)
+    for name, help_text in (
+        ("report", "headline report from a trace file"),
+        ("hist", "ASCII latency histograms"),
+        ("timeline", "windowed link-occupancy timeline"),
+        ("events", "clogging-episode table"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("trace", help="trace file (jsonl or bin)")
+        if name == "hist":
+            p.add_argument("--net", choices=("request", "reply"), default=None)
+            p.add_argument("--cls", choices=("CPU", "GPU"), default=None)
+    args = parser.parse_args(argv)
+
+    if args.command == "trace":
+        return cmd_trace(args)
+    summary = load_summary(args.trace)
+    if args.command == "report":
+        print(render_report(summary))
+    elif args.command == "hist":
+        print(render_hist(summary, net=args.net, cls=args.cls))
+    elif args.command == "timeline":
+        print(render_timeline(summary))
+    elif args.command == "events":
+        print(render_events(summary))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `... report trace | head`
+        sys.exit(0)

@@ -1,0 +1,303 @@
+"""The telemetry collector: hooks, window probes and clogging detection.
+
+One :class:`TelemetryCollector` instance is attached to a
+:class:`~repro.noc.network.NocFabric` (``fabric.attach_telemetry``); the
+NICs, routers and networks then call its ``on_*`` hooks from the five
+packet lifecycle points (inject, VC allocation, head arrival at the
+destination router, delivery, delegation).  Every hook site is a single
+``is not None`` check when telemetry is disabled, which is what keeps the
+disabled path near-zero-cost and bit-identical to an uninstrumented run.
+
+The collector maintains three kinds of state:
+
+* per-(network, class) :class:`~repro.telemetry.hist.LogHistogram` of
+  delivered packet latencies — the *full* population, independent of the
+  packet-trace sampling rate;
+* windowed probes (every ``probe_interval`` cycles) of link utilisation,
+  delivered/injected flit rates, router buffer occupancy and per-memory-
+  node reply-buffer pressure, each emitted as a ``win`` trace record;
+* a :class:`CloggingDetector` fed the per-memory-node pressure signal,
+  emitting ``clog`` episode records (start/end/severity) as they close.
+
+Everything the collector reads is a counter the simulator already
+maintains; it never mutates simulation state, so enabling telemetry
+cannot change results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.config.system import TelemetryConfig
+from repro.telemetry.hist import LogHistogram
+from repro.telemetry.trace import NullTraceSink, PACKET_EVENTS, open_sink
+
+#: schema version stamped into every trace's ``meta`` record.
+TRACE_SCHEMA = 1
+
+
+class CloggingDetector:
+    """Turns a windowed per-node pressure signal into clogging episodes.
+
+    A node whose signal is ``>= threshold`` for at least ``min_windows``
+    consecutive windows is *clogged*; the episode closes when the signal
+    drops below the threshold (or at finalize).  ``severity`` is the mean
+    signal over the episode, ``peak`` its maximum.
+    """
+
+    def __init__(self, threshold: float, min_windows: int) -> None:
+        self.threshold = threshold
+        self.min_windows = max(1, int(min_windows))
+        #: node -> open-episode accumulator
+        self._open: Dict[int, Dict[str, float]] = {}
+        self.episodes: List[Dict] = []
+
+    def update(self, node: int, start: int, end: int, signal: float) -> Optional[Dict]:
+        """Feed one window ``[start, end]``; returns an episode if one closed."""
+        st = self._open.get(node)
+        if signal >= self.threshold:
+            if st is None:
+                self._open[node] = {
+                    "start": start, "windows": 1, "sum": signal, "peak": signal,
+                    "end": end,
+                }
+            else:
+                st["windows"] += 1
+                st["sum"] += signal
+                st["end"] = end
+                if signal > st["peak"]:
+                    st["peak"] = signal
+            return None
+        if st is not None:
+            del self._open[node]
+            return self._close(node, st)
+        return None
+
+    def _close(self, node: int, st: Dict[str, float]) -> Optional[Dict]:
+        if st["windows"] < self.min_windows:
+            return None
+        episode = {
+            "rec": "clog",
+            "node": node,
+            "start": int(st["start"]),
+            "end": int(st["end"]),
+            "windows": int(st["windows"]),
+            "severity": round(st["sum"] / st["windows"], 4),
+            "peak": round(st["peak"], 4),
+        }
+        self.episodes.append(episode)
+        return episode
+
+    def flush(self) -> List[Dict]:
+        """Close every still-open episode (end of run)."""
+        closed = []
+        for node in sorted(self._open):
+            episode = self._close(node, self._open[node])
+            if episode is not None:
+                closed.append(episode)
+        self._open.clear()
+        return closed
+
+
+class TelemetryCollector:
+    """Observability state attached to one fabric for one run."""
+
+    def __init__(
+        self,
+        cfg: TelemetryConfig,
+        fabric,
+        mem_nodes: Tuple[int, ...] = (),
+    ) -> None:
+        self.cfg = cfg
+        self.fabric = fabric
+        self.mem_nodes = tuple(mem_nodes)
+        if cfg.trace_path:
+            self.sink = open_sink(cfg.trace_path, cfg.trace_format)
+            self._tracing = True
+        else:
+            self.sink = NullTraceSink()
+            self._tracing = False
+        rate = min(1.0, max(0.0, cfg.sample_rate))
+        self._sample_all = rate >= 1.0
+        self._sample_below = int(rate * (1 << 32))
+        #: (net_kind int, class int) -> latency histogram (full population)
+        self.hists: Dict[Tuple[int, int], LogHistogram] = {}
+        self.detector = CloggingDetector(cfg.clog_threshold, cfg.clog_min_windows)
+        self.windows: List[Dict] = []
+        self.events: Dict[str, int] = {name: 0 for name in PACKET_EVENTS}
+        self.interval = max(1, int(cfg.probe_interval))
+        self._window_start = 0
+        self._next_probe = self.interval - 1
+        self._finalized = False
+        # previous-probe snapshots of the monotone counters we rate-diff
+        nets = tuple(fabric._net_list)
+        self._nets = nets
+        self._net_links = tuple(
+            sum(r.nports - 1 for r in net.routers) for net in nets
+        )
+        self._prev_flits = [net.total_flits_routed() for net in nets]
+        self._prev_pkts = [net.packets_delivered for net in nets]
+        self._prev_ej = [net.flits_delivered for net in nets]
+        self._prev_inj = sum(nic.flits_injected for nic in fabric.nics)
+        self._prev_blocked = {
+            node: fabric.nics[node].blocked_cycles for node in self.mem_nodes
+        }
+        self.sink.record(
+            {
+                "rec": "meta",
+                "schema": TRACE_SCHEMA,
+                "nodes": fabric.topology.n,
+                "mem_nodes": list(self.mem_nodes),
+                "separate_networks": fabric.separate_networks,
+                "sample_rate": rate,
+                "probe_interval": self.interval,
+                "clog_threshold": cfg.clog_threshold,
+                "clog_min_windows": self.detector.min_windows,
+            }
+        )
+
+    # -- sampling -------------------------------------------------------
+
+    def _sampled(self, pid: int) -> bool:
+        """Stateless per-packet sampling decision (Knuth hash of the pid),
+        so a packet's whole lifecycle is kept or dropped together and the
+        simulation's RNG streams are never perturbed."""
+        if self._sample_all:
+            return True
+        return ((pid * 2654435761) & 0xFFFFFFFF) < self._sample_below
+
+    # -- packet lifecycle hooks ----------------------------------------
+
+    def on_inject(self, pkt, cycle: int) -> None:
+        """A NIC accepted ``pkt`` into its injection queue."""
+        self.events["inject"] += 1
+        if self._tracing and self._sampled(pkt.pid):
+            self.sink.packet_event("inject", cycle, pkt)
+
+    def on_vc_alloc(self, pkt, cycle: int, vc: int) -> None:
+        """``pkt``'s header won an injection VC and entered the network."""
+        self.events["vc_alloc"] += 1
+        if self._tracing and self._sampled(pkt.pid):
+            self.sink.packet_event("vc_alloc", cycle, pkt, value=vc)
+
+    def on_head(self, pkt, cycle: int) -> None:
+        """``pkt``'s header flit reached its destination router."""
+        self.events["head"] += 1
+        if self._tracing and self._sampled(pkt.pid):
+            self.sink.packet_event("head", cycle, pkt)
+
+    def on_deliver(self, pkt, cycle: int) -> None:
+        """``pkt`` fully ejected at its destination NIC."""
+        self.events["deliver"] += 1
+        latency = cycle - pkt.created if pkt.created >= 0 else 0
+        key = (int(pkt.net), int(pkt.cls))
+        hist = self.hists.get(key)
+        if hist is None:
+            hist = self.hists[key] = LogHistogram()
+        hist.record(latency)
+        if self._tracing and self._sampled(pkt.pid):
+            self.sink.packet_event("deliver", cycle, pkt, value=latency)
+
+    def on_delegate(self, reply, delegated, cycle: int) -> None:
+        """A memory node converted ``reply`` into ``delegated`` (1-flit
+        delegated request); the trace value is the delegate target node."""
+        self.events["delegate"] += 1
+        if self._tracing and self._sampled(reply.pid):
+            self.sink.packet_event("delegate", cycle, reply, value=delegated.dst)
+
+    # -- windowed probes -------------------------------------------------
+
+    def on_cycle(self, cycle: int) -> None:
+        """Called once per simulated cycle (after the fabric stepped)."""
+        if cycle >= self._next_probe:
+            self._probe(cycle)
+            self._next_probe = cycle + self.interval
+
+    def _probe(self, cycle: int) -> None:
+        interval = max(1, cycle - self._window_start + 1)
+        record: Dict = {
+            "rec": "win",
+            "cycle": cycle,
+            "interval": interval,
+            "nets": {},
+        }
+        for i, net in enumerate(self._nets):
+            flits = net.total_flits_routed()
+            pkts = net.packets_delivered
+            ej = net.flits_delivered
+            links = self._net_links[i]
+            util = (
+                (flits - self._prev_flits[i])
+                / (interval * links * net.bandwidth)
+                if links
+                else 0.0
+            )
+            record["nets"][net.name] = {
+                "flits": flits - self._prev_flits[i],
+                "pkts": pkts - self._prev_pkts[i],
+                "ej_rate": round((ej - self._prev_ej[i]) / interval, 4),
+                "link_util": round(util, 4),
+                "buffered": net.buffered_flits(),
+            }
+            self._prev_flits[i] = flits
+            self._prev_pkts[i] = pkts
+            self._prev_ej[i] = ej
+        inj = sum(nic.flits_injected for nic in self.fabric.nics)
+        record["inj_rate"] = round((inj - self._prev_inj) / interval, 4)
+        self._prev_inj = inj
+        mem: Dict[str, Dict[str, float]] = {}
+        for node in self.mem_nodes:
+            nic = self.fabric.nics[node]
+            occupancy = nic._reply_occ / max(1, nic.reply_buffer_flits)
+            blocked = (
+                nic.blocked_cycles - self._prev_blocked[node]
+            ) / interval
+            self._prev_blocked[node] = nic.blocked_cycles
+            mem[str(node)] = {
+                "occ": round(occupancy, 4),
+                "blocked": round(blocked, 4),
+            }
+            episode = self.detector.update(
+                node, self._window_start, cycle, max(occupancy, blocked)
+            )
+            if episode is not None:
+                self.sink.record(episode)
+        if mem:
+            record["mem"] = mem
+        self.windows.append(record)
+        self.sink.record(record)
+        self._window_start = cycle + 1
+
+    # -- end of run -------------------------------------------------------
+
+    def latency_histogram(self, net: int, cls: int) -> LogHistogram:
+        """The (possibly empty) histogram for one (net, class) pair."""
+        return self.hists.get((int(net), int(cls)), LogHistogram())
+
+    def finalize(self, cycle: int) -> None:
+        """Flush open episodes, write histogram + summary records, close."""
+        if self._finalized:
+            return
+        self._finalized = True
+        for episode in self.detector.flush():
+            self.sink.record(episode)
+        for (net, cls), hist in sorted(self.hists.items()):
+            payload = hist.to_dict()
+            payload.update(
+                {
+                    "rec": "hist",
+                    "net": "request" if net == 0 else "reply",
+                    "cls": "CPU" if cls == 0 else "GPU",
+                }
+            )
+            self.sink.record(payload)
+        self.sink.record(
+            {
+                "rec": "summary",
+                "cycle": cycle,
+                "events": dict(self.events),
+                "windows": len(self.windows),
+                "episodes": len(self.detector.episodes),
+            }
+        )
+        self.sink.close()

@@ -1,0 +1,222 @@
+"""Streaming log-bucketed (HDR-style) latency histograms.
+
+The paper's argument is about *tails*: a handful of CPU requests stuck
+behind clogged reply VCs dominate perceived latency while the mean moves
+little (Fig. 12).  Storing every sample is out of the question for
+million-packet runs, so :class:`LogHistogram` keeps log-linear buckets:
+values below ``2^(sub_bits+1)`` get exact unit buckets, larger values
+share ``2^sub_bits`` sub-buckets per power of two.  Any quantile is then
+recoverable with bounded *relative* error ``2^-sub_bits`` (3.1% at the
+default ``sub_bits=5``) from O(log(max) * 2^sub_bits) integer counters.
+
+Histograms are pure value aggregates: merging, diffing (for
+warmup-window subtraction) and (de)serialisation are all bucket-wise
+integer arithmetic, so they compose with the simulator's
+snapshot-and-diff metrics pipeline and round-trip losslessly through the
+sweep result cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: default sub-bucket resolution: 2^5 = 32 sub-buckets per octave,
+#: relative quantile error bounded by 2^-5 = 3.125%.
+DEFAULT_SUB_BITS = 5
+
+
+def bucket_index(value: int, sub_bits: int = DEFAULT_SUB_BITS) -> int:
+    """Bucket index of a non-negative integer value (log-linear layout)."""
+    if value < 0:
+        value = 0
+    if value < (1 << (sub_bits + 1)):
+        return value
+    shift = value.bit_length() - (sub_bits + 1)
+    return ((shift + 1) << sub_bits) + ((value >> shift) & ((1 << sub_bits) - 1))
+
+
+def bucket_bounds(index: int, sub_bits: int = DEFAULT_SUB_BITS) -> Tuple[int, int]:
+    """``[lo, hi)`` value range covered by bucket ``index``."""
+    base = 1 << (sub_bits + 1)
+    if index < base:
+        return index, index + 1
+    shift = (index >> sub_bits) - 1
+    mantissa = index & ((1 << sub_bits) - 1)
+    lo = ((1 << sub_bits) + mantissa) << shift
+    return lo, lo + (1 << shift)
+
+
+class LogHistogram:
+    """Streaming histogram over non-negative integers (cycles, flits...)."""
+
+    __slots__ = ("sub_bits", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, sub_bits: int = DEFAULT_SUB_BITS) -> None:
+        self.sub_bits = sub_bits
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    # -- recording ------------------------------------------------------
+
+    def record(self, value: int, n: int = 1) -> None:
+        if value < 0:
+            value = 0
+        idx = bucket_index(value, self.sub_bits)
+        self.buckets[idx] = self.buckets.get(idx, 0) + n
+        self.count += n
+        self.total += value * n
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    # -- queries --------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Approximate value of the ``p``-th percentile (0 < p <= 100).
+
+        Returns the midpoint of the bucket holding the sample of rank
+        ``ceil(p/100 * count)``; the relative error is bounded by the
+        bucket resolution (``2^-sub_bits``).
+        """
+        if self.count == 0:
+            return 0.0
+        rank = max(1, -(-int(p * self.count) // 100))  # ceil(p/100 * n)
+        seen = 0
+        for idx in sorted(self.buckets):
+            seen += self.buckets[idx]
+            if seen >= rank:
+                lo, hi = bucket_bounds(idx, self.sub_bits)
+                return (lo + hi - 1) / 2.0
+        lo, hi = bucket_bounds(max(self.buckets), self.sub_bits)
+        return (lo + hi - 1) / 2.0
+
+    def percentiles(self, ps: Iterable[float]) -> Dict[float, float]:
+        return {p: self.percentile(p) for p in ps}
+
+    def summary(self) -> Dict[str, float]:
+        """The standard report block: count/mean/min/max + tail quantiles."""
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 2),
+            "min": self.min or 0,
+            "max": self.max or 0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "p99.9": self.percentile(99.9),
+        }
+
+    # -- composition ----------------------------------------------------
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Accumulate ``other`` into this histogram (same resolution)."""
+        if other.sub_bits != self.sub_bits:
+            raise ValueError("cannot merge histograms of different resolution")
+        for idx, n in other.buckets.items():
+            self.buckets[idx] = self.buckets.get(idx, 0) + n
+        self.count += other.count
+        self.total += other.total
+        for bound in (other.min, other.max):
+            if bound is None:
+                continue
+            if self.min is None or bound < self.min:
+                self.min = bound
+            if self.max is None or bound > self.max:
+                self.max = bound
+        return self
+
+    # -- (de)serialisation ---------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "sub_bits": self.sub_bits,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "LogHistogram":
+        hist = cls(int(data.get("sub_bits", DEFAULT_SUB_BITS)))
+        hist.buckets = {int(k): int(v) for k, v in dict(data["buckets"]).items()}
+        hist.count = int(data.get("count", sum(hist.buckets.values())))
+        hist.total = int(data.get("total", 0))
+        hist.min = None if data.get("min") is None else int(data["min"])  # type: ignore[arg-type]
+        hist.max = None if data.get("max") is None else int(data["max"])  # type: ignore[arg-type]
+        return hist
+
+    @classmethod
+    def from_sparse(
+        cls, buckets: Mapping[int, int], sub_bits: int = DEFAULT_SUB_BITS
+    ) -> "LogHistogram":
+        """Rebuild from bare ``{bucket_index: count}`` pairs.
+
+        ``count`` is exact; ``total``/``min``/``max`` are reconstructed
+        from bucket bounds (bucket-resolution accuracy), which is all the
+        percentile queries need.  Zero/negative counts are dropped, so
+        windowed counter diffs feed in directly.
+        """
+        hist = cls(sub_bits)
+        for idx, n in buckets.items():
+            n = int(n)
+            if n <= 0:
+                continue
+            idx = int(idx)
+            hist.buckets[idx] = hist.buckets.get(idx, 0) + n
+            lo, hi = bucket_bounds(idx, sub_bits)
+            mid = (lo + hi - 1) // 2
+            hist.count += n
+            hist.total += mid * n
+            if hist.min is None or lo < hist.min:
+                hist.min = lo
+            if hist.max is None or hi - 1 > hist.max:
+                hist.max = hi - 1
+        return hist
+
+    def sparse(self) -> Dict[int, int]:
+        """Bare ``{bucket_index: count}`` pairs (for counter flattening)."""
+        return dict(self.buckets)
+
+    # -- rendering ------------------------------------------------------
+
+    def ascii(self, width: int = 40, max_rows: int = 24) -> str:
+        """Plain-text bar chart of the bucket distribution."""
+        if not self.buckets:
+            return "(empty histogram)"
+        rows: List[str] = []
+        items = sorted(self.buckets.items())
+        if len(items) > max_rows:
+            # coarsen adjacent buckets to fit the row budget
+            step = -(-len(items) // max_rows)
+            merged = []
+            for i in range(0, len(items), step):
+                chunk = items[i : i + step]
+                merged.append((chunk[0][0], chunk[-1][0], sum(c for _, c in chunk)))
+        else:
+            merged = [(idx, idx, n) for idx, n in items]
+        peak = max(n for _, _, n in merged)
+        for lo_idx, hi_idx, n in merged:
+            lo, _ = bucket_bounds(lo_idx, self.sub_bits)
+            _, hi = bucket_bounds(hi_idx, self.sub_bits)
+            bar = "#" * max(1, round(n / peak * width))
+            rows.append(f"{lo:>8}-{hi - 1:<8} {n:>8} {bar}")
+        return "\n".join(rows)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LogHistogram(n={self.count}, mean={self.mean:.1f}, "
+            f"p99={self.percentile(99):.0f})"
+        )

@@ -1,0 +1,185 @@
+"""Render reports from telemetry trace files.
+
+Pure consumers of the :func:`repro.telemetry.trace.read_trace` record
+stream — no simulator imports, so traces can be inspected anywhere.  The
+loader is streaming: packet events are folded into counters/histograms as
+they are read, so multi-million-event traces never materialise in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.telemetry.hist import LogHistogram
+from repro.telemetry.trace import PACKET_EVENTS, read_trace
+
+#: histogram keys are (net, cls) name pairs, e.g. ("reply", "CPU").
+HistKey = Tuple[str, str]
+
+
+@dataclass
+class TraceSummary:
+    """Everything the renderers need, folded out of one trace pass."""
+
+    path: str = ""
+    meta: Dict = field(default_factory=dict)
+    events: Dict[str, int] = field(default_factory=dict)
+    hists: Dict[HistKey, LogHistogram] = field(default_factory=dict)
+    windows: List[Dict] = field(default_factory=list)
+    episodes: List[Dict] = field(default_factory=list)
+    summary: Optional[Dict] = None
+
+
+def load_summary(path: Union[str, Path]) -> TraceSummary:
+    """Fold a trace file into a :class:`TraceSummary`.
+
+    Full-population ``hist`` records (written at finalize) take precedence
+    over histograms rebuilt from (possibly sampled) ``deliver`` events;
+    the rebuilt ones only back-fill truncated traces.
+    """
+    out = TraceSummary(path=str(path))
+    out.events = {name: 0 for name in PACKET_EVENTS}
+    sampled: Dict[HistKey, LogHistogram] = {}
+    exact: Dict[HistKey, LogHistogram] = {}
+    for record in read_trace(path):
+        kind = record.get("rec")
+        if kind is None:  # packet event
+            event = record["ev"]
+            out.events[event] = out.events.get(event, 0) + 1
+            if event == "deliver" and "value" in record:
+                key = (record["net"], record["cls"])
+                hist = sampled.get(key)
+                if hist is None:
+                    hist = sampled[key] = LogHistogram()
+                hist.record(record["value"])
+        elif kind == "win":
+            out.windows.append(record)
+        elif kind == "clog":
+            out.episodes.append(record)
+        elif kind == "hist":
+            exact[(record["net"], record["cls"])] = LogHistogram.from_dict(record)
+        elif kind == "meta":
+            out.meta = record
+        elif kind == "summary":
+            out.summary = record
+    out.hists = dict(sampled)
+    out.hists.update(exact)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# renderers
+# ---------------------------------------------------------------------------
+
+
+def _bar(value: float, width: int = 12) -> str:
+    filled = min(width, max(0, round(value * width)))
+    return "#" * filled + "." * (width - filled)
+
+
+def render_report(s: TraceSummary) -> str:
+    """The headline view: meta, event totals, per-class latency table."""
+    lines = [f"telemetry report: {s.path}"]
+    if s.meta:
+        lines.append(
+            f"  {s.meta.get('nodes', '?')} nodes, mem nodes "
+            f"{s.meta.get('mem_nodes', [])}, sample rate "
+            f"{s.meta.get('sample_rate', 1.0)}, probe interval "
+            f"{s.meta.get('probe_interval', '?')}"
+        )
+    counts = ", ".join(f"{k}={v}" for k, v in s.events.items() if v)
+    lines.append(f"  events: {counts or 'none'}")
+    lines.append("")
+    lines.append("  latency percentiles (cycles) per network / class:")
+    header = (
+        f"  {'net':<8} {'cls':<4} {'count':>8} {'mean':>8} "
+        f"{'p50':>7} {'p95':>7} {'p99':>7} {'p99.9':>8} {'max':>7}"
+    )
+    lines.append(header)
+    if not s.hists:
+        lines.append("  (no delivered packets recorded)")
+    for (net, cls), hist in sorted(s.hists.items()):
+        info = hist.summary()
+        lines.append(
+            f"  {net:<8} {cls:<4} {info['count']:>8} {info['mean']:>8.1f} "
+            f"{info['p50']:>7.0f} {info['p95']:>7.0f} {info['p99']:>7.0f} "
+            f"{info['p99.9']:>8.0f} {info['max']:>7}"
+        )
+    lines.append("")
+    lines.append(
+        f"  windows: {len(s.windows)}   clogging episodes: {len(s.episodes)}"
+    )
+    if s.episodes:
+        worst = max(s.episodes, key=lambda e: e.get("severity", 0.0))
+        lines.append(
+            f"  worst episode: node {worst['node']} cycles "
+            f"{worst['start']}-{worst['end']} severity {worst['severity']}"
+        )
+    return "\n".join(lines)
+
+
+def render_hist(
+    s: TraceSummary,
+    net: Optional[str] = None,
+    cls: Optional[str] = None,
+) -> str:
+    """ASCII latency histograms, optionally filtered by net/class."""
+    lines: List[str] = []
+    for (hnet, hcls), hist in sorted(s.hists.items()):
+        if net is not None and hnet != net:
+            continue
+        if cls is not None and hcls != cls:
+            continue
+        info = hist.summary()
+        lines.append(
+            f"{hnet}/{hcls}: n={info['count']} mean={info['mean']} "
+            f"p50={info['p50']:.0f} p99={info['p99']:.0f}"
+        )
+        lines.append(hist.ascii())
+        lines.append("")
+    return "\n".join(lines).rstrip() or "(no matching histograms)"
+
+
+def render_timeline(s: TraceSummary) -> str:
+    """Per-window link-occupancy / injection-rate timeline."""
+    if not s.windows:
+        return "(no window records in trace)"
+    net_names = sorted(s.windows[0].get("nets", {}))
+    header = f"{'cycle':>8}  " + "".join(
+        f"{name + ' util':>22}  " for name in net_names
+    ) + f"{'inj/cyc':>8}  {'mem occ(max)':>18}"
+    lines = [header]
+    for win in s.windows:
+        cells = [f"{win['cycle']:>8}  "]
+        for name in net_names:
+            util = win["nets"].get(name, {}).get("link_util", 0.0)
+            cells.append(f"{util:>7.3f} [{_bar(util)}]  ")
+        cells.append(f"{win.get('inj_rate', 0.0):>8.3f}  ")
+        mem = win.get("mem", {})
+        if mem:
+            occ = max(entry.get("occ", 0.0) for entry in mem.values())
+            cells.append(f"{occ:>4.2f} [{_bar(occ)}]")
+        lines.append("".join(cells).rstrip())
+    return "\n".join(lines)
+
+
+def render_events(s: TraceSummary) -> str:
+    """Clogging-episode table."""
+    if not s.episodes:
+        return "no clogging episodes detected"
+    lines = [
+        f"{len(s.episodes)} clogging episode(s)",
+        f"{'node':>6} {'start':>10} {'end':>10} {'windows':>8} "
+        f"{'severity':>9} {'peak':>7}",
+    ]
+    for episode in sorted(
+        s.episodes, key=lambda e: (e["start"], e["node"])
+    ):
+        lines.append(
+            f"{episode['node']:>6} {episode['start']:>10} "
+            f"{episode['end']:>10} {episode['windows']:>8} "
+            f"{episode['severity']:>9.3f} {episode['peak']:>7.3f}"
+        )
+    return "\n".join(lines)

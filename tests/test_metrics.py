@@ -99,3 +99,41 @@ class TestDerive:
         assert res.n_gpu == 10 and res.n_cpu == 4 and res.n_mem == 2
         assert res.gpu_ipc > 0
         assert 0 <= res.delegated_fraction <= 1.0
+
+    def test_latency_percentiles_derived(self):
+        system = build_system(small_config(), "HS", "vips")
+        system.run(600)
+        window = collect_counters(system)
+        res = derive_result(system, window)
+        if window.get("cpu.replies", 0):
+            assert res.cpu_latency_p50 > 0
+            assert res.cpu_latency_p50 <= res.cpu_latency_p95 <= res.cpu_latency_p99
+        assert res.gpu_latency_p50 > 0
+        assert res.gpu_latency_p50 <= res.gpu_latency_p95 <= res.gpu_latency_p99
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        res = SimulationResult(cycles=100, counters={"cpu.replies": 5.0})
+        res.cpu_latency_p99 = 42.5
+        clone = SimulationResult.from_dict(res.to_dict())
+        assert clone == res
+
+    def test_from_dict_ignores_unknown_keys(self):
+        # forward compatibility: cached results written by newer code
+        # (with extra fields) must still load
+        res = SimulationResult(cycles=100)
+        data = res.to_dict()
+        data["metric_from_the_future"] = 1.25
+        clone = SimulationResult.from_dict(data)
+        assert clone.cycles == 100
+        assert not hasattr(clone, "metric_from_the_future")
+
+    def test_from_dict_defaults_missing_fields(self):
+        # backward compatibility: pre-telemetry caches lack the
+        # percentile fields
+        res = SimulationResult(cycles=100)
+        data = res.to_dict()
+        del data["cpu_latency_p99"]
+        clone = SimulationResult.from_dict(data)
+        assert clone.cpu_latency_p99 == 0.0

@@ -1,7 +1,5 @@
 """Tests for the NoC utilization analysis utilities."""
 
-import pytest
-
 from repro.config.system import NocConfig
 from repro.noc import MeshTopology, MessageType, NocFabric, Packet, TrafficClass
 from repro.noc.analysis import (
@@ -82,7 +80,28 @@ class TestHeatmap:
         joined = "".join(lines[:-1])
         assert "M" in joined and "C" in joined and "G" in joined
 
-    def test_rejects_non_mesh(self):
+    def test_non_mesh_degrades_to_table(self):
+        # no 2-D arrangement to draw: the heatmap degrades to a
+        # per-router load table instead of raising
         fab = NocFabric(CrossbarTopology(16), NocConfig(), mem_nodes=())
-        with pytest.raises(TypeError):
-            render_mesh_heatmap(fab.reply_net)
+        out = render_mesh_heatmap(fab.reply_net)
+        assert "CrossbarTopology" in out
+        assert "per-router load table" in out
+        lines = out.splitlines()
+        # header lines + one row per router + peak legend
+        assert len(lines) == 2 + 16 + 1
+        assert any(line.lstrip().startswith("15 ") for line in lines)
+
+    def test_non_mesh_table_reflects_traffic(self):
+        fab = NocFabric(CrossbarTopology(8), NocConfig(), mem_nodes=())
+        for nic in fab.nics:
+            nic.handler = lambda pkt, cyc: None
+        for cyc in range(50):
+            fab.nic(0).try_send(
+                Packet(0, 5, MessageType.READ_REPLY, TrafficClass.GPU, 9,
+                       created=cyc),
+                cyc,
+            )
+            fab.step(cyc)
+        out = render_mesh_heatmap(fab.reply_net)
+        assert "#" in out  # some router saw flits

@@ -1,0 +1,367 @@
+"""Tests for repro.telemetry: histograms, tracing, collector, CLI.
+
+Covers the three subsystem layers (bucketed histograms, trace sinks,
+collector/detector), the simulator integration (bit-identical results
+with telemetry on vs. off, percentile accuracy against exact samples)
+and the ``python -m repro.telemetry`` reader CLI.
+"""
+
+import json
+
+from repro.config import SystemConfig, TelemetryConfig
+from repro.config.loader import config_from_dict
+from repro.noc.packet import MessageType, Packet, TrafficClass
+from repro.sim.metrics import collect_counters, derive_result
+from repro.sim.simulator import build_system, run_simulation
+from repro.sweep.jobs import JobSpec
+from repro.telemetry import (
+    CloggingDetector,
+    LogHistogram,
+    TelemetryCollector,
+    bucket_bounds,
+    bucket_index,
+    load_summary,
+    read_trace,
+)
+from repro.telemetry.__main__ import main as telemetry_main
+from repro.telemetry.trace import BinaryTraceSink, JsonlTraceSink
+
+import sys
+sys.path.insert(0, "tests")
+from conftest import small_config
+
+
+def _lcg_values(n, seed=7):
+    """Deterministic skewed sample set (long tail like packet latencies)."""
+    state = seed
+    out = []
+    for _ in range(n):
+        state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        draw = state >> 33
+        out.append(draw % 100 + (draw % 7 == 0) * (draw % 5000))
+    return out
+
+
+def _exact_percentile(values, p):
+    values = sorted(values)
+    rank = max(1, -(-int(p * len(values)) // 100))  # ceil(p/100 * n)
+    return values[rank - 1]
+
+
+class TestBuckets:
+    def test_small_values_exact(self):
+        for v in range(64):
+            lo, hi = bucket_bounds(bucket_index(v))
+            assert (lo, hi) == (v, v + 1)
+
+    def test_bounds_contain_value(self):
+        for v in [64, 65, 100, 1000, 12345, 1 << 20, (1 << 31) + 17]:
+            lo, hi = bucket_bounds(bucket_index(v))
+            assert lo <= v < hi
+
+    def test_relative_width_bounded(self):
+        for v in [64, 1000, 12345, 1 << 20]:
+            lo, hi = bucket_bounds(bucket_index(v))
+            assert (hi - lo) <= lo * 2 ** -5
+
+    def test_indices_monotone(self):
+        idxs = [bucket_index(v) for v in range(0, 1 << 14)]
+        assert idxs == sorted(idxs)
+
+
+class TestLogHistogram:
+    def test_percentiles_within_resolution(self):
+        values = _lcg_values(5000)
+        hist = LogHistogram()
+        for v in values:
+            hist.record(v)
+        for p in (50, 95, 99, 99.9):
+            exact = _exact_percentile(values, p)
+            approx = hist.percentile(p)
+            assert abs(approx - exact) <= exact * 2 ** -5 + 1, p
+
+    def test_count_total_min_max(self):
+        values = _lcg_values(500)
+        hist = LogHistogram()
+        for v in values:
+            hist.record(v)
+        assert hist.count == len(values)
+        assert hist.total == sum(values)
+        assert hist.min == min(values) and hist.max == max(values)
+
+    def test_merge_equals_joint_recording(self):
+        a_vals, b_vals = _lcg_values(300, seed=1), _lcg_values(300, seed=2)
+        a, b, joint = LogHistogram(), LogHistogram(), LogHistogram()
+        for v in a_vals:
+            a.record(v)
+            joint.record(v)
+        for v in b_vals:
+            b.record(v)
+            joint.record(v)
+        a.merge(b)
+        assert a.buckets == joint.buckets
+        assert a.count == joint.count and a.total == joint.total
+
+    def test_dict_round_trip(self):
+        hist = LogHistogram()
+        for v in _lcg_values(200):
+            hist.record(v)
+        clone = LogHistogram.from_dict(json.loads(json.dumps(hist.to_dict())))
+        assert clone.buckets == hist.buckets
+        assert clone.percentile(99) == hist.percentile(99)
+
+    def test_from_sparse_drops_nonpositive(self):
+        hist = LogHistogram.from_sparse({3: 5, 4: 0, 5: -2})
+        assert hist.count == 5
+        assert set(hist.buckets) == {3}
+
+    def test_empty(self):
+        hist = LogHistogram()
+        assert hist.percentile(99) == 0.0
+        assert hist.mean == 0.0
+        assert hist.ascii() == "(empty histogram)"
+
+
+class TestTraceSinks:
+    def _events(self):
+        pkts = [
+            Packet(src=1, dst=2, mtype=MessageType.READ_REQ,
+                   cls=TrafficClass.CPU, size_flits=1, block=17, created=5),
+            Packet(src=2, dst=1, mtype=MessageType.READ_REPLY,
+                   cls=TrafficClass.GPU, size_flits=9, block=17, created=9),
+        ]
+        return [
+            ("inject", 5, pkts[0], -1),
+            ("vc_alloc", 6, pkts[0], 0),
+            ("deliver", 19, pkts[1], 10),
+        ]
+
+    def test_jsonl_bin_equivalent(self, tmp_path):
+        jpath, bpath = tmp_path / "t.jsonl", tmp_path / "t.bin"
+        events = self._events()  # one packet set: pids are global
+        for sink in (JsonlTraceSink(str(jpath)), BinaryTraceSink(str(bpath))):
+            for ev, cycle, pkt, value in events:
+                sink.packet_event(ev, cycle, pkt, value=value)
+            sink.record({"rec": "meta", "schema": 1, "nodes": 4})
+            sink.close()
+        jrecs = list(read_trace(str(jpath)))
+        brecs = list(read_trace(str(bpath)))
+        assert jrecs == brecs
+        assert jrecs[0]["ev"] == "inject" and jrecs[0]["pid"] == jrecs[1]["pid"]
+        assert jrecs[2]["value"] == 10
+        assert jrecs[3]["rec"] == "meta"
+
+    def test_binary_tolerates_truncated_tail(self, tmp_path):
+        path = tmp_path / "t.bin"
+        sink = BinaryTraceSink(str(path))
+        for ev, cycle, pkt, value in self._events():
+            sink.packet_event(ev, cycle, pkt, value=value)
+        sink.close()
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])
+        recs = list(read_trace(str(path)))
+        assert len(recs) == 2  # last event dropped, no exception
+
+
+class TestSampling:
+    def _collector(self, rate, fabric):
+        return TelemetryCollector(
+            TelemetryConfig(enabled=True, sample_rate=rate), fabric
+        )
+
+    def test_rate_subsets_nest(self):
+        system = build_system(small_config(), "HS")
+        quarter = self._collector(0.25, system.fabric)
+        half = self._collector(0.5, system.fabric)
+        q = {pid for pid in range(4000) if quarter._sampled(pid)}
+        h = {pid for pid in range(4000) if half._sampled(pid)}
+        assert q < h
+        assert 0.15 < len(q) / 4000 < 0.35
+        assert 0.4 < len(h) / 4000 < 0.6
+
+    def test_rate_one_samples_everything(self):
+        system = build_system(small_config(), "HS")
+        full = self._collector(1.0, system.fabric)
+        assert all(full._sampled(pid) for pid in range(100))
+
+
+class TestCloggingDetector:
+    def test_short_blips_ignored(self):
+        det = CloggingDetector(threshold=0.9, min_windows=2)
+        det.update(3, 0, 99, 0.95)
+        det.update(3, 100, 199, 0.1)  # one hot window < min_windows
+        assert det.flush() == [] and det.episodes == []
+
+    def test_episode_shape(self):
+        det = CloggingDetector(threshold=0.9, min_windows=2)
+        det.update(3, 0, 99, 0.92)
+        det.update(3, 100, 199, 1.0)
+        episode = det.update(3, 200, 299, 0.2)
+        assert episode is not None
+        assert episode["node"] == 3
+        assert episode["start"] == 0 and episode["end"] == 199
+        assert episode["windows"] == 2
+        assert episode["severity"] == 0.96 and episode["peak"] == 1.0
+
+    def test_flush_closes_open_episode(self):
+        det = CloggingDetector(threshold=0.5, min_windows=1)
+        det.update(1, 0, 99, 0.8)
+        det.update(2, 0, 99, 0.7)
+        closed = det.flush()
+        assert [e["node"] for e in closed] == [1, 2]
+        assert det.flush() == []
+
+    def test_independent_nodes(self):
+        det = CloggingDetector(threshold=0.9, min_windows=1)
+        det.update(1, 0, 99, 0.95)
+        assert det.update(2, 0, 99, 0.1) is None
+        assert len(det.flush()) == 1
+
+
+def _traced_config(tmp_path, fmt="jsonl", **tel):
+    cfg = small_config()
+    cfg.telemetry.enabled = True
+    cfg.telemetry.trace_path = str(tmp_path / f"trace.{fmt}")
+    cfg.telemetry.trace_format = fmt
+    cfg.telemetry.probe_interval = tel.pop("probe_interval", 100)
+    for k, v in tel.items():
+        setattr(cfg.telemetry, k, v)
+    return cfg
+
+
+class TestIntegration:
+    def test_disabled_is_bit_identical(self):
+        base = run_simulation(small_config(), "SC", "bodytrack",
+                              cycles=400, warmup=200)
+        cfg = small_config()
+        cfg.telemetry.enabled = True  # histograms/probes, no trace file
+        traced = run_simulation(cfg, "SC", "bodytrack",
+                                cycles=400, warmup=200)
+        assert traced.counters == base.counters
+        assert traced.cpu_avg_latency == base.cpu_avg_latency
+
+    def test_trace_file_contents(self, tmp_path):
+        cfg = _traced_config(tmp_path)
+        run_simulation(cfg, "SC", "bodytrack", cycles=400, warmup=200)
+        recs = list(read_trace(cfg.telemetry.trace_path))
+        kinds = {}
+        for rec in recs:
+            k = rec.get("rec", rec.get("ev"))
+            kinds[k] = kinds.get(k, 0) + 1
+        assert recs[0]["rec"] == "meta" and recs[0]["schema"] == 1
+        assert kinds.get("win", 0) >= 5
+        assert kinds.get("deliver", 0) > 0
+        assert kinds.get("hist", 0) >= 2  # at least CPU+GPU reply classes
+        assert kinds.get("summary") == 1
+        # delivery counts in the summary match the per-event stream
+        summary = [r for r in recs if r.get("rec") == "summary"][0]
+        assert summary["events"]["deliver"] == kinds["deliver"]
+
+    def test_percentiles_match_exact_samples(self):
+        # HS keeps the mesh below saturation and dedup is the most
+        # memory-intensive co-runner, so the CPU reply population is
+        # large enough to pin percentiles
+        system = build_system(small_config(), "HS", "dedup")
+        exact = []
+        for core in system.cpu_cores:
+            def handler(pkt, cycle, core=core):
+                issued = core._issue_cycle.get(pkt.block)
+                if issued is not None:
+                    exact.append(cycle - issued)
+                core.on_packet(pkt, cycle)
+            core.nic.handler = handler
+        system.run(4000)
+        res = derive_result(system, collect_counters(system))
+        assert len(exact) >= 40
+        for p, approx in ((50, res.cpu_latency_p50),
+                          (95, res.cpu_latency_p95),
+                          (99, res.cpu_latency_p99)):
+            want = _exact_percentile(exact, p)
+            assert abs(approx - want) <= want * 2 ** -5 + 1, p
+
+    def test_collector_histogram_matches_counters(self, tmp_path):
+        cfg = _traced_config(tmp_path)
+        system = build_system(cfg, "SC", "bodytrack")
+        system.run(600)
+        counters = collect_counters(system)
+        # reply-net CPU deliveries == CPU core replies (each CPU reply is
+        # one reply-net delivery to a CPU NIC)
+        cpu_hist = system.telemetry.latency_histogram(1, 0)
+        assert cpu_hist.count == counters["cpu.replies"]
+
+    def test_detector_fires_on_hot_workload(self, tmp_path):
+        # SC saturates the memory nodes of the small mesh: the canonical
+        # clogging scenario must produce at least one episode
+        cfg = _traced_config(tmp_path, clog_threshold=0.8, clog_min_windows=2)
+        run_simulation(cfg, "SC", "bodytrack", cycles=1200, warmup=400)
+        recs = list(read_trace(cfg.telemetry.trace_path))
+        assert any(r.get("rec") == "clog" for r in recs)
+
+
+class TestCli:
+    def _make_trace(self, tmp_path, fmt="jsonl"):
+        cfg = _traced_config(tmp_path, fmt=fmt)
+        run_simulation(cfg, "SC", "bodytrack", cycles=600, warmup=200)
+        return cfg.telemetry.trace_path
+
+    def test_report(self, tmp_path, capsys):
+        path = self._make_trace(tmp_path)
+        assert telemetry_main(["report", path]) == 0
+        out = capsys.readouterr().out
+        assert "latency percentiles" in out
+        assert "p99" in out and "reply" in out
+
+    def test_hist_filters(self, tmp_path, capsys):
+        path = self._make_trace(tmp_path, fmt="bin")
+        assert telemetry_main(["hist", path, "--net", "reply",
+                               "--cls", "GPU"]) == 0
+        out = capsys.readouterr().out
+        assert "reply/GPU" in out and "request" not in out
+
+    def test_timeline(self, tmp_path, capsys):
+        path = self._make_trace(tmp_path)
+        assert telemetry_main(["timeline", path]) == 0
+        out = capsys.readouterr().out
+        assert "cycle" in out and "util" in out
+        assert len(out.splitlines()) >= 5
+
+    def test_events(self, tmp_path, capsys):
+        path = self._make_trace(tmp_path)
+        assert telemetry_main(["events", path]) == 0
+        out = capsys.readouterr().out
+        assert "episode" in out
+
+    def test_load_summary_uses_full_histograms(self, tmp_path):
+        # sampled traces still report exact percentiles: the final "hist"
+        # records carry the full population, overriding sampled deliveries
+        cfg = _traced_config(tmp_path, sample_rate=0.2)
+        run_simulation(cfg, "SC", "bodytrack", cycles=600, warmup=200)
+        summary = load_summary(cfg.telemetry.trace_path)
+        full = [r for r in read_trace(cfg.telemetry.trace_path)
+                if r.get("rec") == "hist" and r["net"] == "reply"
+                and r["cls"] == "GPU"]
+        assert summary.hists[("reply", "GPU")].count == full[0]["count"]
+
+
+class TestConfigPlumbing:
+    def test_loader_round_trip(self):
+        cfg = SystemConfig()
+        cfg.telemetry.enabled = True
+        cfg.telemetry.sample_rate = 0.5
+        cfg.telemetry.trace_format = "bin"
+        clone = config_from_dict(json.loads(json.dumps(cfg.to_dict())))
+        assert clone.telemetry == cfg.telemetry
+
+    def test_sweep_key_ignores_telemetry(self):
+        plain = small_config()
+        traced = small_config()
+        traced.telemetry.enabled = True
+        traced.telemetry.trace_path = "/tmp/x.jsonl"
+        a = JobSpec.make(plain, "SC", "bodytrack")
+        b = JobSpec.make(traced, "SC", "bodytrack")
+        assert a.key() == b.key()
+
+    def test_sweep_key_still_sees_real_config(self):
+        a = JobSpec.make(small_config(), "SC", "bodytrack")
+        b = JobSpec.make(small_config(seed=99), "SC", "bodytrack")
+        assert a.key() != b.key()
