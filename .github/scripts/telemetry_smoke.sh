@@ -17,6 +17,8 @@ echo "--- report ---"
 python -m repro.telemetry report "$TRACE" | tee /tmp/telemetry-report.txt
 echo "--- events ---"
 python -m repro.telemetry events "$TRACE" | tee /tmp/telemetry-events.txt
+echo "--- blame ---"
+python -m repro.telemetry blame "$TRACE" | tee /tmp/telemetry-blame.txt
 
 # per-class latency percentiles are present for both networks
 grep -q "latency percentiles" /tmp/telemetry-report.txt
@@ -24,4 +26,10 @@ grep -q "reply *GPU" /tmp/telemetry-report.txt
 grep -q "request *CPU" /tmp/telemetry-report.txt
 # the clogging detector fired on the canonical clogging workload
 grep -q "clogging episode(s)" /tmp/telemetry-events.txt
+# stall attribution produced the blame matrix and the heatmap
+grep -q "per-router stall cycles" /tmp/telemetry-blame.txt
+grep -q "mesh stall heatmap" /tmp/telemetry-blame.txt
+# at least one episode's blame chain walk named a memory node's full
+# reply injection buffer as the root cause (the paper's Fig. 3 loop)
+awk '/episode root causes/,0' /tmp/telemetry-blame.txt | grep -q "reply_buffer"
 echo "telemetry smoke OK"

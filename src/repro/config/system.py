@@ -280,6 +280,10 @@ class TelemetryConfig:
     clog_threshold: float = 0.9
     #: ... for at least this many consecutive windows is one episode.
     clog_min_windows: int = 2
+    #: per-cycle stall attribution (why each blocked head worm cannot
+    #: advance) and the blame chain walker that attaches ``root_cause``
+    #: records to clogging episodes.  Only read when ``enabled`` is True.
+    stall_attribution: bool = True
 
 
 @dataclass

@@ -33,6 +33,7 @@ from repro.experiments import (
     fig17_layout_dr,
     fig19_sensitivity,
     node_mix,
+    stall_decomposition,
 )
 
 #: experiment modules in paper order
@@ -45,6 +46,7 @@ ALL_EXPERIMENTS = [
     fig10_gpu_perf,
     fig11_data_rate,
     fig12_cpu_latency,
+    stall_decomposition,
     fig13_cpu_perf,
     fig14_miss_breakdown,
     fig15_shared_l1,

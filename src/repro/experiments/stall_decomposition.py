@@ -1,0 +1,121 @@
+"""CPU stall decomposition: where blocked cycles go, with and without DR.
+
+Companion view to Fig. 12: instead of *how long* CPU packets take, this
+breaks down *why* their head flits could not advance, cycle by cycle,
+using the stall-attribution taxonomy (:mod:`repro.telemetry.blame`).
+Under the baseline, CPU traffic loses most of its blocked cycles to
+``credit`` stalls — downstream VCs held by reply worms parked behind full
+memory-node injection buffers (the paper's Fig. 1/Fig. 3 clogging loop).
+Delegated Replies drains those buffers, so the credit share collapses and
+the residue shifts to benign serialization/switch contention.
+
+Unlike the figure modules, this experiment calls ``run_simulation``
+directly rather than going through the shared mechanism sweep: stall
+attribution rides on telemetry, which is deliberately excluded from sweep
+cache keys (traced and untraced runs share one entry), so cached sweep
+results carry no stall data.  To keep the uncached cost reasonable the
+default benchmark set is the 4-benchmark representative subset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_table
+from repro.experiments.common import (
+    ExperimentResult,
+    cpu_corunners,
+    default_benchmarks,
+    default_cycles,
+    default_warmup,
+    mechanism_config,
+)
+from repro.telemetry.blame import STALL_CLASSES
+
+#: the two mechanisms this decomposition contrasts (RP adds nothing here:
+#: its reply path is the baseline's)
+_MECHS = ("baseline", "dr")
+
+
+def _cpu_stalls(
+    gpu: str,
+    cpu: str,
+    mechanism: str,
+    cycles: int,
+    warmup: int,
+) -> Dict[str, int]:
+    """CPU-class stall cycles for one mix, simulated with telemetry on."""
+    from repro.sim.simulator import run_simulation
+
+    cfg = mechanism_config(mechanism)
+    cfg.telemetry.enabled = True          # aggregate-only: no trace file
+    cfg.telemetry.stall_attribution = True
+    res = run_simulation(cfg, gpu, cpu, cycles=cycles, warmup=warmup)
+    return dict(res.stall_breakdown.get("CPU", {}))
+
+
+def run(
+    benchmarks: Optional[Sequence[str]] = None,
+    n_mixes: int = 1,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
+) -> ExperimentResult:
+    """Decompose CPU stall cycles by class, baseline vs. DR."""
+    benchmarks = list(benchmarks or default_benchmarks(subset=4))
+    cycles = default_cycles() if cycles is None else cycles
+    warmup = default_warmup() if warmup is None else warmup
+
+    totals: Dict[str, Dict[str, int]] = {
+        m: {name: 0 for name in STALL_CLASSES} for m in _MECHS
+    }
+    per_mix: Dict[str, Dict[str, Dict[str, int]]] = {}
+    for gpu in benchmarks:
+        for cpu in cpu_corunners(gpu, n_mixes):
+            mix = f"{gpu}/{cpu}"
+            per_mix[mix] = {}
+            for mech in _MECHS:
+                stalls = _cpu_stalls(gpu, cpu, mech, cycles, warmup)
+                per_mix[mix][mech] = stalls
+                for name, n in stalls.items():
+                    totals[mech][name] = totals[mech].get(name, 0) + n
+
+    grand = {m: sum(totals[m].values()) for m in _MECHS}
+    rows: List[Tuple[str, dict]] = []
+    for name in STALL_CLASSES:
+        cells = {}
+        for mech in _MECHS:
+            cells[f"{mech}_share"] = (
+                totals[mech][name] / grand[mech] if grand[mech] else 0.0
+            )
+        base = totals["baseline"][name]
+        if base:
+            cells["dr_cycle_ratio"] = totals["dr"][name] / base
+        rows.append((name, cells))
+
+    stall_ratio = grand["dr"] / grand["baseline"] if grand["baseline"] else 0.0
+    text = format_table(
+        "CPU stall decomposition: share of blocked head-flit cycles "
+        "by stall class",
+        rows,
+        mean=None,
+        label_header="stall class",
+    )
+    text += (
+        f"total CPU stall cycles: baseline {grand['baseline']}, "
+        f"DR {grand['dr']} ({stall_ratio:.3f}x)\n"
+    )
+    return ExperimentResult(
+        name="stall_decomposition",
+        description="CPU blocked-cycle attribution with and without DR",
+        rows=rows,
+        text=text,
+        data={
+            "totals": totals,
+            "per_mix": per_mix,
+            "stall_cycle_ratio": stall_ratio,
+        },
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().text)

@@ -13,7 +13,7 @@ becomes a one-liner::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.noc.network import PhysicalNetwork
 from repro.noc.topology import MeshTopology
@@ -78,6 +78,39 @@ def node_injection_loads(net: PhysicalNetwork) -> List[Tuple[int, float]]:
     return out
 
 
+def render_value_heatmap(
+    values: List[float],
+    width: int,
+    height: int,
+    roles: Optional[List[str]] = None,
+    charset: str = " .:-=+*#%@",
+    legend: str = "",
+) -> str:
+    """ASCII heatmap of one per-router value over a ``width x height`` mesh.
+
+    Pure function of the value vector (node ``y * width + x`` at cell
+    ``(x, y)``), so trace readers can draw heatmaps without a live
+    network.  ``roles`` supplies the one-character cell prefix per node
+    (default ``G``); shade is proportional to ``values[rid] / peak``.
+    """
+    peak = max(values) if values and max(values) > 0 else 1
+    rows = []
+    for y in range(height):
+        cells = []
+        for x in range(width):
+            rid = y * width + x
+            v = values[rid] if rid < len(values) else 0
+            shade = charset[
+                min(len(charset) - 1, int(v / peak * (len(charset) - 1)))
+            ]
+            role = roles[rid] if roles is not None and rid < len(roles) else "G"
+            cells.append(f"{role}{shade}")
+        rows.append(" ".join(cells))
+    if legend:
+        rows.append(legend)
+    return "\n".join(rows)
+
+
 def render_mesh_heatmap(
     net: PhysicalNetwork,
     layout=None,
@@ -98,19 +131,18 @@ def render_mesh_heatmap(
     flits = [r.flits_routed for r in net.routers]
     peak = max(flits) or 1
     role_of = layout.role_of if layout is not None else (lambda n: "gpu")
-    rows = []
-    for y in range(topo.height):
-        cells = []
-        for x in range(topo.width):
-            rid = topo.router_at(x, y)
-            shade = charset[
-                min(len(charset) - 1, int(flits[rid] / peak * (len(charset) - 1)))
-            ]
-            role = {"gpu": "G", "cpu": "C", "mem": "M"}[role_of(rid)]
-            cells.append(f"{role}{shade}")
-        rows.append(" ".join(cells))
-    legend = f"(shade ~ flits routed; peak router = {peak} flits)"
-    return "\n".join(rows + [legend])
+    roles = [
+        {"gpu": "G", "cpu": "C", "mem": "M"}[role_of(rid)]
+        for rid in range(len(flits))
+    ]
+    return render_value_heatmap(
+        [float(f) for f in flits],
+        topo.width,
+        topo.height,
+        roles=roles,
+        charset=charset,
+        legend=f"(shade ~ flits routed; peak router = {peak} flits)",
+    )
 
 
 def _render_router_table(net: PhysicalNetwork, layout=None, width: int = 30) -> str:

@@ -44,6 +44,11 @@ class PhysicalNetwork:
         #: attached telemetry collector (None = disabled; hooks are one
         #: ``is not None`` check each).
         self.telemetry = None
+        #: the collector again iff stall attribution is on, else None —
+        #: the router arbitration loop gates its per-blocked-VC stall
+        #: hooks on this, so enabling tracing without attribution costs
+        #: the hot path nothing extra.
+        self.stall_tel = None
         self.nics: List[NodeInterface] = []
         n = topology.n
         self.routers: List[Router] = []
@@ -368,10 +373,15 @@ class NocFabric:
         change simulation behaviour, only observe it.
         """
         self.telemetry = collector
+        stall_tel = (
+            collector if getattr(collector, "stalls", None) is not None
+            else None
+        )
         for nic in self.nics:
             nic.telemetry = collector
         for net in self._net_list:
             net.telemetry = collector
+            net.stall_tel = stall_tel
 
     def detach_telemetry(self) -> None:
         """Restore the disabled (all hooks ``None``) state."""
@@ -380,6 +390,7 @@ class NocFabric:
             nic.telemetry = None
         for net in self._net_list:
             net.telemetry = None
+            net.stall_tel = None
 
     # -- endpoint API ---------------------------------------------------
 

@@ -314,6 +314,8 @@ class MemoryNodeNic(NodeInterface):
         self.observed_cycles += 1
         if not self.can_enqueue(NetKind.REPLY):
             self.blocked_cycles += 1
+            if self.telemetry is not None:
+                self.telemetry.on_mem_reply_stall(self.node_id, cycle)
 
     def _maybe_delegate(self, cycle: int, replies_moved: bool) -> None:
         if self.delegation_policy is None:

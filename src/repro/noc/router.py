@@ -34,6 +34,17 @@ LOCAL_PORT = 0
 # buffer entry field indices
 _PKT, _AVAIL, _READY = 0, 1, 2
 
+# stall-attribution charge indices.  These mirror the first seven entries
+# of repro.telemetry.blame.STALL_CLASSES; they are duplicated here (and
+# pinned by a test) because the telemetry package imports this module.
+_ST_PIPELINE = 0
+_ST_ROUTE = 1
+_ST_VC_ALLOC = 2
+_ST_CREDIT = 3
+_ST_SWITCH = 4
+_ST_SERIALIZATION = 5
+_ST_EJECT = 6
+
 
 class Router:
     """One NoC router; created and stepped by :class:`PhysicalNetwork`."""
@@ -145,11 +156,19 @@ class Router:
             q.append([pkt, 1, cycle + self.pipeline])
             owner_row[vc] = pkt
             self.active[(port, vc)] = q
-            # head-arrival telemetry: once per worm at its destination
-            # router only, so the disabled cost is one check per header
+            # telemetry: head arrival (once per worm, at its destination
+            # router only) and the pipeline-dwell stall record.  The dwell
+            # record opens *here*, not in arbitration: an event-driven run
+            # sleeps through the dwell on a timed wake and would otherwise
+            # never observe it, while a full scan re-observes it every
+            # cycle as a no-op — opening at arrival keeps both charges equal.
+            # The worm is first visible to per-cycle accounting at cycle+1.
             tel = self.net.telemetry
             if tel is not None and pkt.dst == self.rid:
                 tel.on_head(pkt, cycle)
+            stel = self.net.stall_tel
+            if stel is not None and self.pipeline and len(q) == 1:
+                stel.on_stall(self, port, vc, pkt, _ST_PIPELINE, cycle + 1)
         self.occ[port][vc] += 1
         if is_tail:
             owner_row[vc] = None
@@ -227,6 +246,8 @@ class Router:
         rescan = False
         wake_at = -1
         dead = None
+        tel = net.stall_tel
+        cands = None if tel is None else []
         for key_iv, q in self.active.items():
             if not q:
                 if dead is None:
@@ -237,11 +258,17 @@ class Router:
             iport, ivc = key_iv
             head = q[0]
             if head[_AVAIL] == 0:
+                if tel is not None:
+                    tel.on_stall(
+                        self, iport, ivc, head[_PKT], _ST_SERIALIZATION, cycle
+                    )
                 continue  # waiting for upstream flits; accept_flit wakes us
             ready = head[_READY]
             if cycle < ready:
                 if wake_at < 0 or ready < wake_at:
                     wake_at = ready  # pipeline dwell: wake exactly then
+                if tel is not None:
+                    tel.on_stall(self, iport, ivc, head[_PKT], _ST_PIPELINE, cycle)
                 continue
             pkt: Packet = head[_PKT]
             oport = route_out[iport][ivc]
@@ -249,6 +276,8 @@ class Router:
                 oport = net.route(self, pkt)
                 if oport < 0:
                     rescan = True
+                    if tel is not None:
+                        tel.on_stall(self, iport, ivc, pkt, _ST_ROUTE, cycle)
                     continue  # no admissible output this cycle
                 route_out[iport][ivc] = oport
             if oport == LOCAL_PORT:
@@ -256,6 +285,8 @@ class Router:
                 # gate is sleepable: the endpoint calls notify_eject_ready
                 # when it drains the capacity the gate was refusing on.
                 if sent[iport][ivc] == 0 and not net.nics[self.rid].can_eject(pkt):
+                    if tel is not None:
+                        tel.on_stall(self, iport, ivc, pkt, _ST_EJECT, cycle)
                     continue
             else:
                 ovc = out_vc[iport][ivc]
@@ -263,9 +294,15 @@ class Router:
                 if ovc >= 0:
                     # fast path: established worm, check credit + write lock
                     if down.occ[dport][ovc] >= down.vc_cap:
+                        if tel is not None:
+                            tel.on_stall(self, iport, ivc, pkt, _ST_CREDIT, cycle)
                         continue  # credit stall: downstream drain wakes us
                     owner = down.owner[dport][ovc]
                     if owner is not None and owner is not pkt:
+                        if tel is not None:
+                            tel.on_stall(
+                                self, iport, ivc, pkt, _ST_VC_ALLOC, cycle
+                            )
                         continue  # lock holder streams from *this* router:
                         # its tail (our move) or a drain wakes us
                 elif not self._allocate_vc(iport, ivc, oport, pkt, down, dport):
@@ -275,10 +312,14 @@ class Router:
                         # reachable (deadlock freedom).
                         route_out[iport][ivc] = -1
                         rescan = True
+                    if tel is not None:
+                        tel.on_stall(self, iport, ivc, pkt, _ST_VC_ALLOC, cycle)
                     continue  # VC-allocation stall: every candidate VC is
                     # held by our own worms or credit-full — a drain or our
                     # own tail delivery wakes us
             ncand += 1
+            if cands is not None:
+                cands.append((iport, ivc, pkt))
             if winners is None:
                 if ncand == 1:
                     # priority packed into one int: class-major, then age
@@ -305,6 +346,8 @@ class Router:
             # single candidate: it wins its output port unopposed.  This is
             # the dominant exit, so _move_flit is inlined here verbatim to
             # reuse the locals already bound above (keep both in sync).
+            if tel is not None:
+                tel.on_advance(self, win_iport, win_ivc, cycle)
             q = win_q
             head = q[0]
             pkt = head[_PKT]
@@ -342,6 +385,7 @@ class Router:
         # winners is per-output already, now enforce per-input uniqueness
         taken_inputs = set()
         moved = False
+        moved_vcs = None if tel is None else set()
         for oport, (key, iport, ivc, q) in sorted(
             winners.items(), key=lambda kv: kv[1][0]
         ):
@@ -350,6 +394,15 @@ class Router:
             taken_inputs.add(iport)
             self._move_flit(iport, ivc, oport, cycle, q)
             moved = True
+            if moved_vcs is not None:
+                moved_vcs.add((iport, ivc))
+        if tel is not None:
+            # every candidate that did not move lost switch allocation to
+            # a higher-priority worm (or to per-input uniqueness) — charge
+            # it so each blocked head worm is billed exactly one class.
+            for iport, ivc, pkt in cands:
+                if (iport, ivc) not in moved_vcs:
+                    tel.on_stall(self, iport, ivc, pkt, _ST_SWITCH, cycle)
         self.rescan = True
         return moved
 
@@ -371,6 +424,9 @@ class Router:
         self, iport: int, ivc: int, oport: int, cycle: int, q: deque
     ) -> None:
         net = self.net
+        tel = net.stall_tel
+        if tel is not None:
+            tel.on_advance(self, iport, ivc, cycle)
         head = q[0]
         pkt: Packet = head[_PKT]
         head[_AVAIL] -= 1

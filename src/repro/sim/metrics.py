@@ -172,6 +172,11 @@ class SimulationResult:
     remote_hit_fraction: float = 0.0    # of delegated requests
     delegated_fraction: float = 0.0     # of L1 read misses
     noc_request_packets: float = 0.0
+    #: measured-window stall attribution (telemetry only): victim group
+    #: ("CPU" | "GPU" | "mem") -> {stall class: blocked head-worm cycles}.
+    #: Empty when telemetry or stall attribution is disabled — kept out of
+    #: ``counters`` so traced and untraced runs stay bit-identical there.
+    stall_breakdown: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def to_dict(self) -> Dict:
         """JSON-compatible dict of every field (for the sweep result cache).
@@ -280,4 +285,6 @@ def derive_result(system: HeterogeneousSystem, window: Dict[str, float]) -> Simu
     )
     res.remote_hit_fraction = remote_ok / served if served else 0.0
     res.noc_request_packets = window.get("noc.req_packets", 0)
+    if system.telemetry is not None:
+        res.stall_breakdown = system.telemetry.stall_breakdown()
     return res

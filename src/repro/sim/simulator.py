@@ -77,6 +77,9 @@ def run_simulation(
         system = build_system(cfg, gpu, cpu, kernel_flush_interval)
     system.run(warmup)
     baseline = collect_counters(system)
+    if system.telemetry is not None:
+        # align the stall-attribution window with the measured window
+        system.telemetry.mark_window_start(system.cycle)
     system.run(cycles)
     window = diff_counters(collect_counters(system), baseline)
     if system.telemetry is not None:

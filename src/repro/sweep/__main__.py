@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import signal
 import sys
 import time
@@ -59,6 +60,92 @@ def _cache_from_args(args) -> ResultCache:
     return ResultCache(args.cache_dir or default_cache_dir())
 
 
+def _progress_log_path(args, cache: ResultCache) -> str:
+    if getattr(args, "progress_log", None):
+        return args.progress_log
+    return str(cache.root / "progress.jsonl")
+
+
+class ProgressLog:
+    """Append-only JSONL log of sweep-run progress.
+
+    One ``start`` marker per ``sweep run``, one ``job`` line per finished
+    job (key, state, wall time, attempts) flushed as it lands, and a
+    final ``end``/``interrupted`` marker — so a long sweep is observable
+    from another shell (``sweep status`` summarises the latest segment)
+    and a crashed one leaves evidence of where it stopped.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        # the default location is inside the cache dir, which a fresh
+        # run has not created yet
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        self._fh = open(path, "a")
+
+    def write(self, rec: dict) -> None:
+        rec = {"ts": round(time.time(), 3), **rec}
+        self._fh.write(json.dumps(rec, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+def _read_progress(path: str) -> List[dict]:
+    """Records of the most recent run segment (after the last ``start``)."""
+    segment: List[dict] = []
+    try:
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    continue  # torn tail line from a crashed writer
+                if rec.get("rec") == "start":
+                    segment = [rec]
+                else:
+                    segment.append(rec)
+    except OSError:
+        return []
+    return segment
+
+
+def _summarize_progress(path: str) -> None:
+    segment = _read_progress(path)
+    if not segment:
+        print(f"progress: no progress log at {path}")
+        return
+    start = segment[0] if segment[0].get("rec") == "start" else {}
+    jobs = [r for r in segment if r.get("rec") == "job"]
+    end = next(
+        (r for r in segment if r.get("rec") in ("end", "interrupted")), None
+    )
+    total = start.get("total", max((r.get("total", 0) for r in jobs), default=0))
+    counts: dict = {}
+    retried = 0
+    wall = 0.0
+    for r in jobs:
+        counts[r.get("status", "?")] = counts.get(r.get("status", "?"), 0) + 1
+        if r.get("attempts", 1) > 1:
+            retried += 1
+        wall += r.get("wall_time_s", 0.0)
+    simulated = counts.get("ok", 0)
+    state = "running"
+    if end is not None:
+        state = ("finished in {:.1f}s".format(end.get("wall_time_s", 0.0))
+                 if end["rec"] == "end" else "interrupted")
+    by_status = ", ".join(f"{n} {s}" for s, n in sorted(counts.items()))
+    print(f"last run: {len(jobs)}/{total} job(s) done ({by_status or 'none'})"
+          f" — {state}")
+    if simulated:
+        print(f"          {wall:.1f}s simulation time, "
+              f"{wall / simulated:.2f}s/job, {retried} job(s) retried")
+
+
 def _cmd_list(args) -> int:
     specs = _specs_from_args(args)
     cache = _cache_from_args(args)
@@ -79,6 +166,7 @@ def _cmd_status(args) -> int:
           f"{len(specs) - cached} to run")
     print(f"cache:   {cache.root} — {total_entries} entr(ies), "
           f"{cache.size_bytes() / 1024:.1f} KiB")
+    _summarize_progress(_progress_log_path(args, cache))
     return 0
 
 
@@ -103,6 +191,7 @@ def _cmd_run(args) -> int:
         pass
     specs = _specs_from_args(args)
     cache = _cache_from_args(args)
+    plog = ProgressLog(_progress_log_path(args, cache))
 
     def progress(outcome: JobOutcome, done: int, total: int) -> None:
         mark = {"ok": "ok    ", "cached": "cached"}.get(
@@ -112,6 +201,16 @@ def _cmd_run(args) -> int:
               + (f"  {outcome.wall_time_s:.2f}s" if outcome.status == "ok"
                  else ""),
               flush=True)
+        plog.write({
+            "rec": "job",
+            "key": outcome.key,
+            "label": list(outcome.spec.label) or [outcome.spec.describe()],
+            "status": outcome.status,
+            "wall_time_s": round(outcome.wall_time_s, 4),
+            "attempts": outcome.attempts,
+            "done": done,
+            "total": total,
+        })
 
     runner = SweepRunner(
         cache=cache,
@@ -120,6 +219,7 @@ def _cmd_run(args) -> int:
         use_cache=not args.force,
         progress=progress,
     )
+    plog.write({"rec": "start", "total": len(specs), "workers": runner.jobs})
     t0 = time.perf_counter()
     interrupted = False
     try:
@@ -130,6 +230,11 @@ def _cmd_run(args) -> int:
         interrupted = True
         outcomes = {}
     wall = time.perf_counter() - t0
+    plog.write({
+        "rec": "interrupted" if interrupted else "end",
+        "wall_time_s": round(wall, 3),
+    })
+    plog.close()
 
     if not interrupted:
         counts = {"ok": 0, "cached": 0, "failed": 0}
@@ -199,9 +304,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="retry rounds for failed jobs (default 2)")
     run_p.add_argument("--manifest", default=None,
                        help="write a JSON run manifest to this path")
+    run_p.add_argument("--progress-log", default=None,
+                       help="per-job JSONL progress log "
+                            "(default: <cache-dir>/progress.jsonl)")
 
     status_p = sub.add_parser("status", help="cached/missing breakdown")
     _add_sweep_options(status_p)
+    status_p.add_argument("--progress-log", default=None,
+                          help="progress log to summarise "
+                               "(default: <cache-dir>/progress.jsonl)")
 
     clean_p = sub.add_parser("clean", help="delete every cache entry")
     _add_sweep_options(clean_p)

@@ -29,7 +29,9 @@ from repro.config.system import SystemConfig
 #: configs — every on-disk cache entry becomes stale at once.
 #: sweep-v2: results carry latency-histogram counters and percentile
 #: fields (repro.telemetry).
-CODE_VERSION = "sweep-v2"
+#: sweep-v3: results carry stall-attribution breakdown fields
+#: (repro.telemetry.blame).
+CODE_VERSION = "sweep-v3"
 
 
 def code_salt() -> str:

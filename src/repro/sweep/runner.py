@@ -34,6 +34,28 @@ from repro.sweep.jobs import JobSpec, dedupe
 ENV_JOBS = "REPRO_SWEEP_JOBS"
 
 
+def stall_shares(
+    breakdown: Dict[str, Dict[str, int]]
+) -> Dict[str, Dict[str, float]]:
+    """Normalise a stall breakdown into per-group class *shares*.
+
+    ``{"CPU": {"credit": 0.61, ...}, ...}`` — each group's classes sum
+    to 1.0 (4 decimal places), so manifests carry a headline "where did
+    the blocked cycles go" answer without absolute cycle counts that
+    depend on window length.  Empty groups (and an empty breakdown, the
+    untraced case) are dropped.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for group, classes in breakdown.items():
+        total = sum(classes.values())
+        if total <= 0:
+            continue
+        out[group] = {
+            name: round(n / total, 4) for name, n in sorted(classes.items())
+        }
+    return out
+
+
 def default_jobs() -> int:
     """Worker count when unspecified (``REPRO_SWEEP_JOBS``, default 1)."""
     return max(1, int(os.environ.get(ENV_JOBS, "1")))
@@ -100,6 +122,9 @@ class JobOutcome:
                 "gpu_latency_p99": self.result.gpu_latency_p99,
                 "mem_blocking_rate": round(self.result.mem_blocking_rate, 4),
             }
+            shares = stall_shares(self.result.stall_breakdown)
+            if shares:
+                d["metrics"]["stall_shares"] = shares
         return d
 
 

@@ -13,10 +13,22 @@ cannot show.  This package adds the missing instruments:
   link/buffer/injection probes and a clogging-event detector.  Enabled
   via ``SystemConfig.telemetry``; bit-identical and near-zero-cost when
   disabled.
-* ``python -m repro.telemetry {trace,report,hist,timeline,events}`` — run
-  a traced simulation and render reports from trace files.
+* :class:`~repro.telemetry.blame.StallTable` and the blame chain walker —
+  per-(router, port, class) stall attribution for every cycle a head worm
+  fails to advance, plus hop-by-hop backpressure chains that attach
+  ``root_cause`` records to clogging episodes.
+* ``python -m repro.telemetry {trace,report,hist,timeline,events,blame}``
+  — run a traced simulation and render reports from trace files.
 """
 
+from repro.telemetry.blame import (
+    BlameAccumulator,
+    STALL_CLASSES,
+    StallTable,
+    classify_head,
+    survey_stalls,
+    walk_chain,
+)
 from repro.telemetry.collector import CloggingDetector, TelemetryCollector
 from repro.telemetry.hist import (
     DEFAULT_SUB_BITS,
@@ -27,6 +39,7 @@ from repro.telemetry.hist import (
 from repro.telemetry.report import (
     TraceSummary,
     load_summary,
+    render_blame,
     render_events,
     render_hist,
     render_report,
@@ -44,22 +57,29 @@ from repro.telemetry.trace import (
 
 __all__ = [
     "BinaryTraceSink",
+    "BlameAccumulator",
     "CloggingDetector",
     "DEFAULT_SUB_BITS",
     "JsonlTraceSink",
     "LogHistogram",
     "NullTraceSink",
     "PACKET_EVENTS",
+    "STALL_CLASSES",
+    "StallTable",
     "TelemetryCollector",
     "TraceSink",
     "TraceSummary",
     "bucket_bounds",
     "bucket_index",
+    "classify_head",
     "load_summary",
     "open_sink",
     "read_trace",
+    "render_blame",
     "render_events",
     "render_hist",
     "render_report",
     "render_timeline",
+    "survey_stalls",
+    "walk_chain",
 ]

@@ -7,6 +7,7 @@ Subcommands::
     hist      ASCII latency histograms (filter with --net / --cls)
     timeline  per-window link-occupancy / injection-rate timeline
     events    clogging-episode table
+    blame     stall-attribution matrix, mesh heatmap, episode root causes
 
 Example — produce and inspect a trace of the paper's clogging scenario::
 
@@ -18,10 +19,12 @@ Example — produce and inspect a trace of the paper's clogging scenario::
 from __future__ import annotations
 
 import argparse
+import struct
 import sys
 
 from repro.telemetry.report import (
     load_summary,
+    render_blame,
     render_events,
     render_hist,
     render_report,
@@ -98,6 +101,7 @@ def main(argv=None) -> int:
         ("hist", "ASCII latency histograms"),
         ("timeline", "windowed link-occupancy timeline"),
         ("events", "clogging-episode table"),
+        ("blame", "stall-attribution matrix and episode root causes"),
     ):
         p = sub.add_parser(name, help=help_text)
         p.add_argument("trace", help="trace file (jsonl or bin)")
@@ -108,7 +112,24 @@ def main(argv=None) -> int:
 
     if args.command == "trace":
         return cmd_trace(args)
-    summary = load_summary(args.trace)
+    # a broken trace gets a one-line diagnosis, not a traceback: missing
+    # file (OSError), truncated/garbled JSON or text (ValueError covers
+    # json.JSONDecodeError and UnicodeDecodeError), torn binary framing
+    # (struct.error)
+    try:
+        summary = load_summary(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read trace {args.trace!r}: "
+              f"{exc.strerror or exc}", file=sys.stderr)
+        return 2
+    except (ValueError, struct.error) as exc:
+        print(f"error: {args.trace!r} is not a readable trace "
+              f"(truncated or not a trace file): {exc}", file=sys.stderr)
+        return 2
+    if summary.records == 0:
+        print(f"error: trace {args.trace!r} is empty (no records)",
+              file=sys.stderr)
+        return 2
     if args.command == "report":
         print(render_report(summary))
     elif args.command == "hist":
@@ -117,6 +138,8 @@ def main(argv=None) -> int:
         print(render_timeline(summary))
     elif args.command == "events":
         print(render_events(summary))
+    elif args.command == "blame":
+        print(render_blame(summary))
     return 0
 
 

@@ -1,0 +1,373 @@
+"""Stall attribution and backpressure blame analysis.
+
+Two layers turn "the network is slow" into "node 23's reply buffer is the
+culprit":
+
+* **Stall attribution** (:class:`StallTable`): every cycle a head worm
+  fails to advance, the router charges the cycle to exactly one class of
+  a fixed taxonomy (:data:`STALL_CLASSES`).  Charging is *deferred*: the
+  collector keeps one open record per blocked input VC and only charges
+  when the stall class changes or the worm advances.  Repeated
+  same-class observations are no-ops, and a router sleeping through an
+  event-driven scheduling gap is charged correctly on wake — any event
+  that could change a head worm's stall class also wakes its router, so
+  the class is invariant over the gap.  Full-scan and event-driven runs
+  therefore produce identical totals, and per-router totals equal the
+  exact count of blocked head-worm cycles (the conservation property the
+  tests enforce).
+
+* **Blame chains** (:func:`walk_chain` / :func:`survey_stalls`): for a
+  clogging episode the walker follows each blocked head worm downstream
+  — credit and VC-allocation stalls name the downstream VC whose head
+  worm is the blocker — until it reaches a terminal stall (ejection
+  gate, switch loss, pipeline dwell, ...).  Chains that end at a memory
+  node whose reply injection buffer cannot take one more reply are
+  extended one step to a ``reply_buffer`` root: that is the paper's
+  Figure 3 loop, where replies that cannot inject close the ejection
+  gate and strand request worms hop by hop upstream.
+
+Everything here is read-only over live router state; the walker never
+mutates the simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.noc.nic import MemoryNodeNic
+from repro.noc.packet import NetKind
+from repro.noc.router import LOCAL_PORT, _AVAIL, _PKT, _READY
+
+#: the fixed stall taxonomy, in charge-index order.
+STALL_CLASSES = (
+    "pipeline",       # header dwelling in the router pipeline
+    "route",          # route computation found no admissible output port
+    "vc_alloc",       # no downstream VC allocatable (held or credit-full)
+    "credit",         # established worm out of downstream credits
+    "switch",         # lost switch allocation to a higher-priority worm
+    "serialization",  # head worm waiting for its own upstream flits
+    "eject",          # ejection gate / NIC backpressure at the endpoint
+    "reply_buffer",   # memory-node reply injection buffer full (Fig. 3)
+)
+
+# charge indices (module-level so the router hooks pay no lookup)
+PIPELINE, ROUTE, VC_ALLOC, CREDIT, SWITCH, SERIALIZATION, EJECT, REPLY_BUFFER = (
+    range(8)
+)
+N_CLASSES = len(STALL_CLASSES)
+
+#: pseudo traffic class for memory-side counters (no single packet class)
+ANY_CLS = -1
+
+
+class StallTable:
+    """Per-(net, router, port, class) stall-cycle counters.
+
+    ``counts`` maps ``(net_name, router, port, traffic_cls)`` to a list of
+    per-stall-class cycle counts.  ``_open`` holds the deferred records:
+    ``(net_name, router, port, vc) -> [stall_class, since_cycle, cls]``.
+    """
+
+    __slots__ = ("counts", "_open")
+
+    def __init__(self) -> None:
+        self.counts: Dict[Tuple[str, int, int, int], List[int]] = {}
+        self._open: Dict[Tuple[str, int, int, int], List[int]] = {}
+
+    # -- deferred charging (router head worms) -------------------------
+
+    def observe(
+        self,
+        net: str,
+        rid: int,
+        port: int,
+        vc: int,
+        cls: int,
+        klass: int,
+        cycle: int,
+    ) -> None:
+        """The head worm of ``(port, vc)`` is blocked on ``klass`` at
+        ``cycle``.  Same-class re-observations are no-ops; a class change
+        charges the elapsed span to the old class and reopens."""
+        key = (net, rid, port, vc)
+        rec = self._open.get(key)
+        if rec is None:
+            self._open[key] = [klass, cycle, cls]
+            return
+        if rec[0] == klass:
+            return
+        self._charge(key, rec, cycle)
+        rec[0] = klass
+        rec[1] = cycle
+        rec[2] = cls
+
+    def advance(self, net: str, rid: int, port: int, vc: int, cycle: int) -> None:
+        """A flit of ``(port, vc)``'s head worm moved: close its record,
+        charging every cycle since the stall began."""
+        rec = self._open.pop((net, rid, port, vc), None)
+        if rec is not None:
+            self._charge((net, rid, port, vc), rec, cycle)
+
+    def _charge(
+        self, key: Tuple[str, int, int, int], rec: List[int], cycle: int
+    ) -> None:
+        n = cycle - rec[1]
+        if n <= 0:
+            return
+        ckey = (key[0], key[1], key[2], rec[2])
+        row = self.counts.get(ckey)
+        if row is None:
+            row = self.counts[ckey] = [0] * N_CLASSES
+        row[rec[0]] += n
+
+    # -- direct charging (per-cycle memory-side counters) ---------------
+
+    def charge(
+        self, net: str, rid: int, port: int, cls: int, klass: int, n: int = 1
+    ) -> None:
+        ckey = (net, rid, port, cls)
+        row = self.counts.get(ckey)
+        if row is None:
+            row = self.counts[ckey] = [0] * N_CLASSES
+        row[klass] += n
+
+    # -- windows / finalize ---------------------------------------------
+
+    def flush(self, cycle: int) -> None:
+        """Charge every open record up to ``cycle`` (records stay open so
+        accounting can continue across a window boundary)."""
+        for key, rec in self._open.items():
+            self._charge(key, rec, cycle)
+            rec[1] = cycle
+
+    def snapshot(self) -> Dict[Tuple[str, int, int, int], List[int]]:
+        return {k: list(v) for k, v in self.counts.items()}
+
+    def diff(
+        self, base: Dict[Tuple[str, int, int, int], List[int]]
+    ) -> Dict[Tuple[str, int, int, int], List[int]]:
+        out = {}
+        for key, row in self.counts.items():
+            prev = base.get(key)
+            d = list(row) if prev is None else [a - b for a, b in zip(row, prev)]
+            if any(d):
+                out[key] = d
+        return out
+
+
+# ---------------------------------------------------------------------------
+# blame chains: read-only re-classification + downstream walking
+# ---------------------------------------------------------------------------
+
+#: continuation key: (downstream router, downstream input port, vc)
+NextHop = Optional[Tuple[object, int, int]]
+
+
+def classify_head(router, port: int, vc: int, cycle: int) -> Tuple[Optional[str], NextHop]:
+    """Why can the head worm of input VC ``(port, vc)`` not advance?
+
+    Read-only re-derivation of the arbitration checks in
+    :meth:`repro.noc.router.Router._arbitrate_once`.  Returns ``(stall
+    class name, next hop)``; class ``None`` means the worm is movable
+    this cycle (at worst it loses switch allocation).  The next hop is
+    set for ``credit``/``vc_alloc`` stalls — the downstream VC whose head
+    worm is the blocker.  Heads whose route is not yet computed are
+    approximated with the dimension-order port (exact for CDR configs).
+    """
+    q = router.buf[port][vc]
+    if not q:
+        return None, None
+    head = q[0]
+    pkt = head[_PKT]
+    if head[_AVAIL] == 0:
+        return STALL_CLASSES[SERIALIZATION], None
+    if cycle < head[_READY]:
+        return STALL_CLASSES[PIPELINE], None
+    net = router.net
+    oport = router.route_out[port][vc]
+    if oport < 0:
+        oport = net.dor_port(router, pkt)
+    if oport == LOCAL_PORT:
+        if router.sent[port][vc] == 0 and not net.nics[router.rid].can_eject(pkt):
+            return STALL_CLASSES[EJECT], None
+        return None, None
+    down, dport = router.downstream[oport]
+    ovc = router.out_vc[port][vc]
+    if ovc >= 0:
+        if down.occ[dport][ovc] >= down.vc_cap:
+            return STALL_CLASSES[CREDIT], (down, dport, ovc)
+        owner = down.owner[dport][ovc]
+        if owner is not None and owner is not pkt:
+            return STALL_CLASSES[VC_ALLOC], (down, dport, ovc)
+        return None, None
+    # header without an allocated VC: scan the candidates read-only
+    vlo, vhi = net.vc_range(pkt)
+    escape_only = net.escape_vc_active
+    blocker = -1
+    for cand in range(vlo, vhi):
+        if escape_only and cand == vlo and oport != net.dor_port(router, pkt):
+            continue
+        if down.owner[dport][cand] is None and down.occ[dport][cand] < down.vc_cap:
+            return None, None  # allocatable this cycle: movable
+        if blocker < 0:
+            blocker = cand
+    if blocker < 0:
+        return STALL_CLASSES[ROUTE], None  # escape-only port with no VC
+    return STALL_CLASSES[VC_ALLOC], (down, dport, blocker)
+
+
+def walk_chain(router, port: int, vc: int, cycle: int, max_hops: int = 64) -> List[Dict]:
+    """Follow one blocked head worm downstream to its terminal blocker.
+
+    Returns the chain as hop dicts, upstream victim first; the last entry
+    is the terminal blocker (its ``class`` the root stall class).  Chains
+    whose terminal is an ejection stall at a memory node with a full
+    reply injection buffer gain a final ``reply_buffer`` hop — the
+    paper's Figure 3 causal loop closed.
+    """
+    hops: List[Dict] = []
+    visited = set()
+    r, p, v = router, port, vc
+    while True:
+        key = (id(r), p, v)
+        if key in visited:
+            hops.append({"node": r.rid, "net": r.net.name, "class": "cyclic"})
+            break
+        visited.add(key)
+        q = r.buf[p][v]
+        if not q:
+            hops.append({"node": r.rid, "net": r.net.name, "class": "drained"})
+            break
+        klass, nxt = classify_head(r, p, v, cycle)
+        pkt = q[0][_PKT]
+        hops.append(
+            {
+                "node": r.rid,
+                "net": r.net.name,
+                "port": p,
+                "vc": v,
+                "cls": pkt.cls.name,
+                "dst": pkt.dst,
+                "class": klass or "moving",
+            }
+        )
+        if (
+            klass in ("credit", "vc_alloc")
+            and nxt is not None
+            and len(hops) < max_hops
+        ):
+            r, p, v = nxt
+            continue
+        break
+    term = hops[-1]
+    if term["class"] == "eject":
+        nic = r.net.nics[term["node"]]
+        if isinstance(nic, MemoryNodeNic) and not nic.can_enqueue(NetKind.REPLY):
+            hops.append(
+                {"node": term["node"], "net": "mem", "class": "reply_buffer"}
+            )
+    return hops
+
+
+def survey_stalls(nets, cycle: int, max_hops: int = 64) -> Dict[Tuple[int, str], Dict]:
+    """Walk every blocked head worm across ``nets`` and group the chains
+    by terminal blocker.
+
+    Returns ``{(terminal node, terminal class): group}`` where each group
+    counts chains, per-traffic-class victims, the deepest chain length
+    and keeps that deepest chain as a sample.
+    """
+    groups: Dict[Tuple[int, str], Dict] = {}
+    for net in nets:
+        for router in net.routers:
+            if not router.active:
+                continue
+            for (port, vc), q in router.active.items():
+                if not q:
+                    continue
+                klass, _ = classify_head(router, port, vc, cycle)
+                if klass is None:
+                    continue
+                chain = walk_chain(router, port, vc, cycle, max_hops=max_hops)
+                term = chain[-1]
+                gkey = (term["node"], term["class"])
+                g = groups.get(gkey)
+                if g is None:
+                    g = groups[gkey] = {
+                        "chains": 0,
+                        "victims": {},
+                        "max_depth": 0,
+                        "sample": chain,
+                    }
+                g["chains"] += 1
+                cls = chain[0].get("cls", "?")
+                g["victims"][cls] = g["victims"].get(cls, 0) + 1
+                depth = len(chain)
+                if depth > g["max_depth"]:
+                    g["max_depth"] = depth
+                    g["sample"] = chain
+    return groups
+
+
+class BlameAccumulator:
+    """Aggregates per-probe blame surveys over one clogging episode."""
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+        self.walks = 0
+        #: terminal stall class -> {"chains", "victims", "max_depth"}
+        self.terminals: Dict[str, Dict] = {}
+        self._sample: Optional[List[Dict]] = None
+        self._sample_depth = 0
+
+    def feed(self, groups: Dict[Tuple[int, str], Dict]) -> None:
+        """Fold in one survey: only chains terminating at this node."""
+        self.walks += 1
+        for (tnode, tclass), g in groups.items():
+            if tnode != self.node:
+                continue
+            t = self.terminals.get(tclass)
+            if t is None:
+                t = self.terminals[tclass] = {
+                    "chains": 0,
+                    "victims": {},
+                    "max_depth": 0,
+                }
+            t["chains"] += g["chains"]
+            for cls, n in g["victims"].items():
+                t["victims"][cls] = t["victims"].get(cls, 0) + n
+            if g["max_depth"] > t["max_depth"]:
+                t["max_depth"] = g["max_depth"]
+            if g["max_depth"] > self._sample_depth:
+                self._sample_depth = g["max_depth"]
+                self._sample = g["sample"]
+
+    def root_cause(self) -> Dict:
+        """The episode's blame verdict: the terminal stall class that
+        blocked the most chains at this node (reply-buffer wins ties —
+        it is the causal root of every ejection stall it feeds)."""
+        if not self.terminals:
+            return {
+                "node": self.node,
+                "class": "reply_buffer",
+                "chains": 0,
+                "walks": self.walks,
+                "note": "no blocked chains terminated here "
+                "(injection-bandwidth bound)",
+            }
+        tclass, t = max(
+            self.terminals.items(),
+            key=lambda kv: (kv[1]["chains"], kv[0] == "reply_buffer"),
+        )
+        out = {
+            "node": self.node,
+            "class": tclass,
+            "chains": t["chains"],
+            "total_chains": sum(x["chains"] for x in self.terminals.values()),
+            "victims": dict(t["victims"]),
+            "max_depth": t["max_depth"],
+            "walks": self.walks,
+        }
+        if self._sample is not None:
+            out["sample"] = self._sample
+        return out

@@ -29,6 +29,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.config.system import TelemetryConfig
+from repro.telemetry.blame import (
+    ANY_CLS,
+    BlameAccumulator,
+    REPLY_BUFFER,
+    STALL_CLASSES,
+    StallTable,
+    survey_stalls,
+)
 from repro.telemetry.hist import LogHistogram
 from repro.telemetry.trace import NullTraceSink, PACKET_EVENTS, open_sink
 
@@ -123,6 +131,14 @@ class TelemetryCollector:
         #: (net_kind int, class int) -> latency histogram (full population)
         self.hists: Dict[Tuple[int, int], LogHistogram] = {}
         self.detector = CloggingDetector(cfg.clog_threshold, cfg.clog_min_windows)
+        #: stall attribution (None when cfg.stall_attribution is False):
+        #: per-(net, router, port, class) blocked-head-worm cycle counters
+        self.stalls: Optional[StallTable] = (
+            StallTable() if cfg.stall_attribution else None
+        )
+        self._stall_base: Dict = {}
+        #: node -> blame accumulator for its currently-hot episode
+        self._blame: Dict[int, BlameAccumulator] = {}
         self.windows: List[Dict] = []
         self.events: Dict[str, int] = {name: 0 for name in PACKET_EVENTS}
         self.interval = max(1, int(cfg.probe_interval))
@@ -142,19 +158,23 @@ class TelemetryCollector:
         self._prev_blocked = {
             node: fabric.nics[node].blocked_cycles for node in self.mem_nodes
         }
-        self.sink.record(
-            {
-                "rec": "meta",
-                "schema": TRACE_SCHEMA,
-                "nodes": fabric.topology.n,
-                "mem_nodes": list(self.mem_nodes),
-                "separate_networks": fabric.separate_networks,
-                "sample_rate": rate,
-                "probe_interval": self.interval,
-                "clog_threshold": cfg.clog_threshold,
-                "clog_min_windows": self.detector.min_windows,
-            }
-        )
+        meta = {
+            "rec": "meta",
+            "schema": TRACE_SCHEMA,
+            "nodes": fabric.topology.n,
+            "mem_nodes": list(self.mem_nodes),
+            "separate_networks": fabric.separate_networks,
+            "sample_rate": rate,
+            "probe_interval": self.interval,
+            "clog_threshold": cfg.clog_threshold,
+            "clog_min_windows": self.detector.min_windows,
+            "stall_attribution": self.stalls is not None,
+        }
+        width = getattr(fabric.topology, "width", 0)
+        height = getattr(fabric.topology, "height", 0)
+        if width and height:
+            meta["mesh"] = [width, height]
+        self.sink.record(meta)
 
     # -- sampling -------------------------------------------------------
 
@@ -205,6 +225,38 @@ class TelemetryCollector:
         if self._tracing and self._sampled(reply.pid):
             self.sink.packet_event("delegate", cycle, reply, value=delegated.dst)
 
+    # -- stall-attribution hooks ----------------------------------------
+
+    def on_stall(self, router, port: int, vc: int, pkt, klass: int, cycle: int) -> None:
+        """Head worm of ``router``'s input VC ``(port, vc)`` is blocked on
+        stall class ``klass`` this cycle (deferred charging; see
+        :class:`~repro.telemetry.blame.StallTable`)."""
+        st = self.stalls
+        if st is not None:
+            st.observe(
+                router.net.name, router.rid, port, vc, int(pkt.cls), klass, cycle
+            )
+
+    def on_advance(self, router, port: int, vc: int, cycle: int) -> None:
+        """A flit of ``(port, vc)``'s head worm moved: close its record."""
+        st = self.stalls
+        if st is not None:
+            st.advance(router.net.name, router.rid, port, vc, cycle)
+
+    def on_mem_reply_stall(self, node: int, cycle: int) -> None:
+        """Memory node ``node``'s reply injection buffer cannot take one
+        more reply this cycle (the NIC-side blocked-cycle signal)."""
+        st = self.stalls
+        if st is not None:
+            st.charge("mem", node, 0, ANY_CLS, REPLY_BUFFER)
+
+    def on_reply_backpressure(self, node: int, cycle: int) -> None:
+        """Memory node ``node``'s LLC holds a finished result it cannot
+        post because the reply buffer is full (drain-side signal)."""
+        st = self.stalls
+        if st is not None:
+            st.charge("mem", node, 1, ANY_CLS, REPLY_BUFFER)
+
     # -- windowed probes -------------------------------------------------
 
     def on_cycle(self, cycle: int) -> None:
@@ -246,6 +298,7 @@ class TelemetryCollector:
         record["inj_rate"] = round((inj - self._prev_inj) / interval, 4)
         self._prev_inj = inj
         mem: Dict[str, Dict[str, float]] = {}
+        signals: Dict[int, float] = {}
         for node in self.mem_nodes:
             nic = self.fabric.nics[node]
             occupancy = nic._reply_occ / max(1, nic.reply_buffer_flits)
@@ -257,16 +310,69 @@ class TelemetryCollector:
                 "occ": round(occupancy, 4),
                 "blocked": round(blocked, 4),
             }
+            signals[node] = max(occupancy, blocked)
+        # one blame survey per probe covers every hot node: walk all
+        # blocked head worms once, then fold the chains into each hot
+        # node's accumulator so a closing episode can name its root cause
+        hot = [n for n, s in signals.items() if s >= self.detector.threshold]
+        if hot and self.stalls is not None:
+            groups = survey_stalls(self._nets, cycle)
+            for node in hot:
+                acc = self._blame.get(node)
+                if acc is None:
+                    acc = self._blame[node] = BlameAccumulator(node)
+                acc.feed(groups)
+        for node in self.mem_nodes:
             episode = self.detector.update(
-                node, self._window_start, cycle, max(occupancy, blocked)
+                node, self._window_start, cycle, signals[node]
             )
             if episode is not None:
+                acc = self._blame.pop(node, None)
+                if acc is not None:
+                    episode["root_cause"] = acc.root_cause()
                 self.sink.record(episode)
+            elif signals[node] < self.detector.threshold:
+                # hot blip too short to count as an episode: drop its blame
+                self._blame.pop(node, None)
         if mem:
             record["mem"] = mem
         self.windows.append(record)
         self.sink.record(record)
         self._window_start = cycle + 1
+
+    # -- measured-window stall accounting ---------------------------------
+
+    def mark_window_start(self, cycle: int) -> None:
+        """Snapshot stall counters at the start of the measured window so
+        :meth:`stall_breakdown` reports measured-window cycles only."""
+        st = self.stalls
+        if st is not None:
+            st.flush(cycle)
+            self._stall_base = st.snapshot()
+
+    def stall_breakdown(self) -> Dict[str, Dict[str, int]]:
+        """Measured-window stall cycles aggregated by victim group.
+
+        ``{"CPU" | "GPU" | "mem": {stall class: cycles}}`` — CPU/GPU rows
+        sum the router-side counters over the victim worm's traffic
+        class; the ``mem`` row carries the memory-side reply-buffer
+        pressure counters.  Empty when stall attribution is off.
+        """
+        st = self.stalls
+        if st is None:
+            return {}
+        out: Dict[str, Dict[str, int]] = {}
+        for (net, _rid, _port, cls), row in st.diff(self._stall_base).items():
+            if net == "mem":
+                group = "mem"
+            else:
+                group = "CPU" if cls == 0 else "GPU"
+            bucket = out.setdefault(group, {})
+            for idx, n in enumerate(row):
+                if n:
+                    name = STALL_CLASSES[idx]
+                    bucket[name] = bucket.get(name, 0) + n
+        return out
 
     # -- end of run -------------------------------------------------------
 
@@ -279,7 +385,13 @@ class TelemetryCollector:
         if self._finalized:
             return
         self._finalized = True
+        st = self.stalls
+        if st is not None:
+            st.flush(cycle)
         for episode in self.detector.flush():
+            acc = self._blame.pop(episode["node"], None)
+            if acc is not None:
+                episode["root_cause"] = acc.root_cause()
             self.sink.record(episode)
         for (net, cls), hist in sorted(self.hists.items()):
             payload = hist.to_dict()
@@ -291,6 +403,24 @@ class TelemetryCollector:
                 }
             )
             self.sink.record(payload)
+        if st is not None:
+            for (net, rid, port, cls), row in sorted(st.counts.items()):
+                classes = {
+                    STALL_CLASSES[i]: n for i, n in enumerate(row) if n
+                }
+                if not classes:
+                    continue
+                self.sink.record(
+                    {
+                        "rec": "stall",
+                        "net": net,
+                        "router": rid,
+                        "port": port,
+                        "cls": "CPU" if cls == 0 else
+                               ("GPU" if cls == 1 else "any"),
+                        "classes": classes,
+                    }
+                )
         self.sink.record(
             {
                 "rec": "summary",

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.telemetry.blame import STALL_CLASSES
 from repro.telemetry.hist import LogHistogram
 from repro.telemetry.trace import PACKET_EVENTS, read_trace
 
@@ -29,7 +30,11 @@ class TraceSummary:
     hists: Dict[HistKey, LogHistogram] = field(default_factory=dict)
     windows: List[Dict] = field(default_factory=list)
     episodes: List[Dict] = field(default_factory=list)
+    #: per-(net, router, port, class) stall-attribution records.
+    stalls: List[Dict] = field(default_factory=list)
     summary: Optional[Dict] = None
+    #: total records read — 0 distinguishes an empty/unreadable trace.
+    records: int = 0
 
 
 def load_summary(path: Union[str, Path]) -> TraceSummary:
@@ -44,6 +49,7 @@ def load_summary(path: Union[str, Path]) -> TraceSummary:
     sampled: Dict[HistKey, LogHistogram] = {}
     exact: Dict[HistKey, LogHistogram] = {}
     for record in read_trace(path):
+        out.records += 1
         kind = record.get("rec")
         if kind is None:  # packet event
             event = record["ev"]
@@ -58,6 +64,8 @@ def load_summary(path: Union[str, Path]) -> TraceSummary:
             out.windows.append(record)
         elif kind == "clog":
             out.episodes.append(record)
+        elif kind == "stall":
+            out.stalls.append(record)
         elif kind == "hist":
             exact[(record["net"], record["cls"])] = LogHistogram.from_dict(record)
         elif kind == "meta":
@@ -162,6 +170,124 @@ def render_timeline(s: TraceSummary) -> str:
             occ = max(entry.get("occ", 0.0) for entry in mem.values())
             cells.append(f"{occ:>4.2f} [{_bar(occ)}]")
         lines.append("".join(cells).rstrip())
+    return "\n".join(lines)
+
+
+def _chain_text(chain: List[Dict]) -> str:
+    """One blame chain as ``node(class) -> ... -> node[class]``."""
+    parts = []
+    for i, hop in enumerate(chain):
+        node, klass = hop.get("node", "?"), hop.get("class", "?")
+        if i == len(chain) - 1:
+            parts.append(f"{node}[{klass}]")
+        else:
+            parts.append(f"{node}({klass})")
+    return " -> ".join(parts)
+
+
+def render_blame(s: TraceSummary) -> str:
+    """Stall-attribution view: per-router blame matrix, mesh heatmap,
+    memory-side pressure counters and the episode root-cause table."""
+    if not s.stalls:
+        if s.meta.get("stall_attribution") is False:
+            return "stall attribution was disabled for this trace"
+        return "no stall records in trace (nothing ever blocked)"
+    # fold per (net, router) over ports and traffic classes
+    routers: Dict[Tuple[str, int], Dict[str, int]] = {}
+    mem_rows: Dict[int, List[int]] = {}
+    node_total: Dict[int, int] = {}
+    for rec in s.stalls:
+        net, rid = rec["net"], rec["router"]
+        if net == "mem":
+            row = mem_rows.setdefault(rid, [0, 0])
+            row[min(1, rec["port"])] += sum(rec["classes"].values())
+            continue
+        agg = routers.setdefault((net, rid), {})
+        for name, n in rec["classes"].items():
+            agg[name] = agg.get(name, 0) + n
+        node_total[rid] = node_total.get(rid, 0) + sum(rec["classes"].values())
+    lines = [f"blame report: {s.path}", ""]
+    cols = [c for c in STALL_CLASSES
+            if any(c in agg for agg in routers.values())]
+    lines.append("  per-router stall cycles (blocked head-worm cycles "
+                 "by class; top 12 by total):")
+    header = f"  {'net':<8} {'router':>6} {'total':>9}"
+    for c in cols:
+        header += f" {c:>13}"
+    lines.append(header)
+    ranked = sorted(
+        routers.items(), key=lambda kv: -sum(kv[1].values())
+    )
+    for (net, rid), agg in ranked[:12]:
+        row = f"  {net:<8} {rid:>6} {sum(agg.values()):>9}"
+        for c in cols:
+            row += f" {agg.get(c, 0):>13}"
+        lines.append(row)
+    if len(ranked) > 12:
+        lines.append(f"  ... {len(ranked) - 12} more routers with stalls")
+    mesh = s.meta.get("mesh")
+    if mesh and node_total:
+        width, height = mesh
+        mem_nodes = set(s.meta.get("mem_nodes", []))
+        values = [float(node_total.get(n, 0)) for n in range(width * height)]
+        roles = ["M" if n in mem_nodes else "G" for n in range(width * height)]
+        peak = int(max(values))
+        lines.append("")
+        lines.append("  mesh stall heatmap (shade ~ total stall cycles; "
+                     f"peak router = {peak}):")
+        # imported lazily: the reader CLI stays trace-only until a mesh
+        # view is actually drawn
+        from repro.noc.analysis import render_value_heatmap
+
+        for hline in render_value_heatmap(
+            values, width, height, roles=roles
+        ).splitlines():
+            lines.append("  " + hline)
+    if mem_rows:
+        lines.append("")
+        lines.append("  memory-node reply-buffer pressure (cycles):")
+        lines.append(f"  {'node':>6} {'inject-blocked':>15} {'drain-refused':>14}")
+        for node in sorted(mem_rows):
+            blocked, refused = mem_rows[node]
+            lines.append(f"  {node:>6} {blocked:>15} {refused:>14}")
+    lines.append("")
+    attributed = [e for e in s.episodes if "root_cause" in e]
+    if not s.episodes:
+        lines.append("  no clogging episodes detected")
+    else:
+        lines.append(f"  episode root causes ({len(attributed)}/"
+                     f"{len(s.episodes)} episodes attributed):")
+        lines.append(
+            f"  {'node':>6} {'start':>9} {'end':>9} {'severity':>9} "
+            f"{'root cause':>12} {'chains':>7} {'depth':>6}  victims"
+        )
+        best_sample = None
+        best_depth = 0
+        for e in sorted(s.episodes, key=lambda e: (e["start"], e["node"])):
+            rc = e.get("root_cause")
+            if rc is None:
+                lines.append(
+                    f"  {e['node']:>6} {e['start']:>9} {e['end']:>9} "
+                    f"{e['severity']:>9.3f} {'-':>12} {'-':>7} {'-':>6}"
+                )
+                continue
+            victims = ", ".join(
+                f"{k}:{v}" for k, v in sorted(rc.get("victims", {}).items())
+            )
+            lines.append(
+                f"  {e['node']:>6} {e['start']:>9} {e['end']:>9} "
+                f"{e['severity']:>9.3f} {rc['class']:>12} "
+                f"{rc.get('chains', 0):>7} {rc.get('max_depth', 0):>6}  "
+                f"{victims}"
+            )
+            sample = rc.get("sample")
+            if sample and rc.get("max_depth", 0) >= best_depth:
+                best_depth = rc.get("max_depth", 0)
+                best_sample = sample
+        if best_sample:
+            lines.append("")
+            lines.append("  deepest blame chain (victim first, culprit last):")
+            lines.append("    " + _chain_text(best_sample))
     return "\n".join(lines)
 
 

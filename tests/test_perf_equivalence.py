@@ -168,3 +168,28 @@ def test_packet_conservation_under_heavy_delegation():
     # request incremented) so sends == deliveries exactly
     assert delivered_pkts == sent_pkts
     assert delivered_flits == injected_flits
+
+
+class TestBenchMemoryTelemetry:
+    """run_bench results carry memory-behaviour signals (BENCH_noc.json)."""
+
+    def test_extras_report_rss_and_gc(self):
+        from repro.bench.harness import _GcWatch, _peak_rss_kb, run_bench
+
+        res = run_bench("mesh8x8", cycles=300)
+        assert res.extra["peak_rss_kb"] == _peak_rss_kb()
+        assert res.extra["peak_rss_kb"] > 0  # Linux: ru_maxrss available
+        gc_keys = [k for k in res.extra if k.startswith("gc_gen")]
+        assert gc_keys and all(res.extra[k] >= 0 for k in gc_keys)
+        d = res.as_dict()
+        assert d["peak_rss_kb"] == res.extra["peak_rss_kb"]
+
+    def test_gc_watch_counts_forced_collection(self):
+        import gc
+
+        from repro.bench.harness import _GcWatch
+
+        watch = _GcWatch()
+        gc.collect()
+        deltas = watch.deltas()
+        assert deltas["gc_gen2_collections"] >= 1

@@ -331,6 +331,47 @@ class TestCli:
         out = capsys.readouterr().out
         assert "episode" in out
 
+    def test_blame(self, tmp_path, capsys):
+        cfg = _traced_config(tmp_path, clog_threshold=0.8,
+                             clog_min_windows=2)
+        run_simulation(cfg, "SC", "bodytrack", cycles=1200, warmup=400)
+        assert telemetry_main(["blame", cfg.telemetry.trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "per-router stall cycles" in out
+        assert "memory-node reply-buffer pressure" in out
+        assert "mesh stall heatmap" in out
+        assert "episode root causes" in out
+
+    def test_blame_reports_disabled_attribution(self, tmp_path, capsys):
+        cfg = _traced_config(tmp_path, stall_attribution=False)
+        run_simulation(cfg, "SC", "bodytrack", cycles=400, warmup=200)
+        assert telemetry_main(["blame", cfg.telemetry.trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "stall attribution was disabled" in out
+
+    def test_missing_trace_is_one_line_error(self, tmp_path, capsys):
+        path = str(tmp_path / "does-not-exist.jsonl")
+        assert telemetry_main(["report", path]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot read trace")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_empty_trace_is_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert telemetry_main(["blame", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "is empty (no records)" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_garbage_trace_is_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "garbage.bin"
+        path.write_bytes(b"\x00\x01not a trace file at all")
+        assert telemetry_main(["report", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "is not a readable trace" in err
+        assert len(err.strip().splitlines()) == 1
+
     def test_load_summary_uses_full_histograms(self, tmp_path):
         # sampled traces still report exact percentiles: the final "hist"
         # records carry the full population, overriding sampled deliveries
