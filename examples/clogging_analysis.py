@@ -37,7 +37,7 @@ def main() -> None:
         print(
             f"{gap:>11d} {res.mem_reply_link_utilization:>10.2f} "
             f"{res.mem_blocking_rate:>9.2f} {res.gpu_data_rate:>9.3f} "
-            f"{res.cpu_avg_latency:>11.0f}"
+            f"{res.cpu_latency_avg:>11.0f}"
         )
     print(
         "\nAs intensity rises the reply links saturate, the memory nodes"

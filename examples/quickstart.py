@@ -32,7 +32,7 @@ def main() -> None:
         ("GPU IPC (per core)", base.gpu_ipc, dr.gpu_ipc),
         ("GPU data rate (flits/cyc/core)", base.gpu_data_rate, dr.gpu_data_rate),
         ("memory-node blocking rate", base.mem_blocking_rate, dr.mem_blocking_rate),
-        ("CPU round-trip latency (cyc)", base.cpu_avg_latency, dr.cpu_avg_latency),
+        ("CPU round-trip latency (cyc)", base.cpu_latency_avg, dr.cpu_latency_avg),
         ("CPU IPC (per core)", base.cpu_ipc, dr.cpu_ipc),
     ]
     for name, b, d in rows:
@@ -42,7 +42,7 @@ def main() -> None:
     print(f"GPU speedup:            {dr.gpu_ipc / base.gpu_ipc:.2f}x "
           f"(paper: 1.68x for HS)")
     print(f"CPU latency reduction:  "
-          f"{(1 - dr.cpu_avg_latency / base.cpu_avg_latency) * 100:.0f}%")
+          f"{(1 - dr.cpu_latency_avg / base.cpu_latency_avg) * 100:.0f}%")
     print(f"Delegated fraction of L1 misses: {dr.delegated_fraction:.0%} "
           f"(remote hit rate {dr.remote_hit_fraction:.0%})")
 

@@ -10,11 +10,13 @@ bandwidth overprovisioning).
 
 Quickstart::
 
-    from repro import delegated_replies_config, run_simulation
+    from repro import delegated_replies_config, simulate
 
     cfg = delegated_replies_config()
-    result = run_simulation(cfg, gpu_benchmark="HS", cycles=20_000)
-    print(result.gpu_ipc, result.cpu_avg_latency)
+    result = simulate(cfg, "HS", cycles=20_000)
+    print(result.gpu_ipc, result.cpu_latency_avg)
+
+The full stable surface is :mod:`repro.api`.
 """
 
 from repro.config import (
@@ -38,6 +40,7 @@ __all__ = [
     "delegated_replies_config",
     "realistic_probing_config",
     "run_simulation",
+    "simulate",
     "__version__",
 ]
 
@@ -50,3 +53,13 @@ def run_simulation(*args, **kwargs):
     from repro.sim.simulator import run_simulation as _run
 
     return _run(*args, **kwargs)
+
+
+def simulate(*args, **kwargs):
+    """Convenience wrapper around :func:`repro.api.simulate`.
+
+    Imported lazily so ``import repro`` stays cheap.
+    """
+    from repro.api import simulate as _simulate
+
+    return _simulate(*args, **kwargs)

@@ -54,7 +54,7 @@ def _cmd_run(args) -> int:
     print(f"mem_blocking_rate:   {result.mem_blocking_rate:.3f}")
     if args.cpu:
         print(f"cpu_ipc:             {result.cpu_ipc:.4f}")
-        print(f"cpu_avg_latency:     {result.cpu_avg_latency:.1f} cycles")
+        print(f"cpu_latency_avg:     {result.cpu_latency_avg:.1f} cycles")
     if args.mechanism == "dr":
         bd = result.miss_breakdown()
         print(f"delegated_fraction:  {result.delegated_fraction:.3f}")

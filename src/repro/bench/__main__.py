@@ -19,6 +19,7 @@ Flags:
     ``--quick``        quarter-length run (CI smoke test budget)
     ``--configs a b``  run only the named configs
     ``--reference``    use the full-scan reference stepping (for A/B runs)
+    ``--jobs N``       worker processes for the sweep-throughput bench
     ``--out PATH``     output path (default ``BENCH_noc.json``)
 """
 
@@ -34,6 +35,7 @@ from repro.bench.harness import (
     run_sweep_throughput,
     run_telemetry_overhead,
 )
+from repro.cli import add_cycles_option, add_jobs_option, add_out_option
 
 #: pseudo-config measuring the repro.sweep runner, not a bare fabric
 SWEEP_BENCH = "sweep_throughput"
@@ -46,8 +48,7 @@ def main(argv=None) -> int:
         prog="python -m repro.bench",
         description="NoC simulation-kernel throughput benchmarks",
     )
-    parser.add_argument("--cycles", type=int, default=None,
-                        help="override per-config cycle counts")
+    add_cycles_option(parser, help="override per-config cycle counts")
     parser.add_argument("--quick", action="store_true",
                         help="quarter-length run (CI smoke budget)")
     parser.add_argument("--configs", nargs="+", default=None,
@@ -57,8 +58,10 @@ def main(argv=None) -> int:
                         help="subset of configs to run")
     parser.add_argument("--reference", action="store_true",
                         help="use full-scan reference stepping")
-    parser.add_argument("--out", default="BENCH_noc.json",
-                        help="output JSON path")
+    add_jobs_option(parser,
+                    help="worker processes for the sweep-throughput bench")
+    add_out_option(parser, default="BENCH_noc.json",
+                   help="output JSON path")
     args = parser.parse_args(argv)
 
     names = args.configs or [*BENCH_CONFIGS, SWEEP_BENCH, TELEMETRY_BENCH]
@@ -77,6 +80,7 @@ def main(argv=None) -> int:
             continue
         if name == SWEEP_BENCH:
             res = run_sweep_throughput(
+                workers=args.jobs,
                 cycles=150 if args.quick else 300,
                 warmup=100 if args.quick else 200,
             )

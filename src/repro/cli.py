@@ -1,0 +1,106 @@
+"""Shared command-line conventions for the ``repro.*`` CLIs.
+
+Every entry point (``repro.bench``, ``repro.sweep``, ``repro.telemetry``,
+``repro.faults``) spells the common flags identically by building them
+through these helpers:
+
+``--cycles N``   measured-window length
+``--warmup N``   warmup length
+``--jobs N``     worker processes
+``--out PATH``   primary output file
+``--seed N``     override the config's RNG seed
+
+Renamed or historical spellings stay functional via
+:func:`add_deprecated_alias`, which maps the old flag onto the canonical
+destination with a one-line ``stderr`` warning per use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+
+def add_cycles_option(
+    parser: argparse.ArgumentParser,
+    default: Optional[int] = None,
+    help: str = "measured window in cycles "
+    "(default: $REPRO_CYCLES or the command's built-in)",
+) -> None:
+    parser.add_argument("--cycles", type=int, default=default, help=help)
+
+
+def add_warmup_option(
+    parser: argparse.ArgumentParser,
+    default: Optional[int] = None,
+    help: str = "warmup cycles before measurement "
+    "(default: $REPRO_WARMUP or the command's built-in)",
+) -> None:
+    parser.add_argument("--warmup", type=int, default=default, help=help)
+
+
+def add_window_options(
+    parser: argparse.ArgumentParser,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
+) -> None:
+    """The ``--cycles`` / ``--warmup`` pair every simulating CLI takes."""
+    add_cycles_option(parser, default=cycles)
+    add_warmup_option(parser, default=warmup)
+
+
+def add_jobs_option(
+    parser: argparse.ArgumentParser,
+    default: Optional[int] = None,
+    help: str = "worker processes (default: $REPRO_SWEEP_JOBS or 1)",
+) -> None:
+    parser.add_argument("--jobs", type=int, default=default, help=help)
+
+
+def add_out_option(
+    parser: argparse.ArgumentParser,
+    default: Optional[str] = None,
+    required: bool = False,
+    help: str = "output file path",
+) -> None:
+    parser.add_argument(
+        "--out", default=default, required=required, help=help
+    )
+
+
+def add_seed_option(
+    parser: argparse.ArgumentParser,
+    default: Optional[int] = None,
+    help: str = "override the system config's RNG seed",
+) -> None:
+    parser.add_argument("--seed", type=int, default=default, help=help)
+
+
+def add_deprecated_alias(
+    parser: argparse.ArgumentParser,
+    old: str,
+    new: str,
+    **kwargs,
+) -> None:
+    """Register ``old`` as a hidden alias of the already-added ``new`` flag.
+
+    Using the alias stores into ``new``'s destination and prints one
+    deprecation line on stderr, so old invocations keep working while
+    steering users to the canonical spelling.
+    """
+    dest = new.lstrip("-").replace("-", "_")
+
+    class _Alias(argparse.Action):
+        def __call__(self, _parser, namespace, values, option_string=None):
+            print(
+                f"warning: {option_string or old} is deprecated; "
+                f"use {new}",
+                file=sys.stderr,
+            )
+            setattr(namespace, dest, values)
+
+    parser.add_argument(
+        old, action=_Alias, dest=f"_deprecated{dest}",
+        help=argparse.SUPPRESS, **kwargs,
+    )

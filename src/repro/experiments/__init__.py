@@ -18,6 +18,7 @@ from repro.experiments.common import (
 from repro.experiments import (
     ablations,
     area_energy,
+    chaos_sweep,
     fig02_locality,
     fig05_topology,
     fig06_avcp,
@@ -56,6 +57,7 @@ ALL_EXPERIMENTS = [
     node_mix,
     area_energy,
     ablations,
+    chaos_sweep,
 ]
 
 

@@ -49,8 +49,8 @@ def run(
         for gpu in gpus:
             base_res = sweep[(gpu, cpu, "baseline")]
             dr_res = sweep[(gpu, cpu, "dr")]
-            if base_res.cpu_avg_latency > 0:
-                ratios.append(dr_res.cpu_avg_latency / base_res.cpu_avg_latency)
+            if base_res.cpu_latency_avg > 0:
+                ratios.append(dr_res.cpu_latency_avg / base_res.cpu_latency_avg)
             # distribution view (telemetry histograms): delegation's win is
             # largest in the tail, where clogging parks CPU packets
             if base_res.cpu_latency_p95 > 0:

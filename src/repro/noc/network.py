@@ -49,6 +49,15 @@ class PhysicalNetwork:
         #: hooks on this, so enabling tracing without attribution costs
         #: the hot path nothing extra.
         self.stall_tel = None
+        #: attached fault controller (None = no fault plan; same single
+        #: ``is not None`` gating as telemetry).
+        self.faults = None
+        #: live link-health mask: directed dead links as (rid, oport).
+        #: The controller installs its own set here; the default empty
+        #: frozenset keeps the router check a single truthiness test.
+        self.fault_down: frozenset = frozenset()
+        #: routers currently frozen by a RouterFreeze event.
+        self.fault_frozen: frozenset = frozenset()
         self.nics: List[NodeInterface] = []
         n = topology.n
         self.routers: List[Router] = []
@@ -131,6 +140,10 @@ class PhysicalNetwork:
             NetKind.REPLY: per_order[cfg.reply_order],
         }
         self._det_tables = None if self.routing.adaptive else self._dor_tables
+        fa = getattr(self, "faults", None)
+        if fa is not None:
+            # keep degraded-mode detour tables in force across rebuilds
+            fa.on_tables_rebuilt(self)
 
     # -- hooks used by routers -----------------------------------------
 
@@ -141,6 +154,14 @@ class PhysicalNetwork:
             return tables[pkt.net][router.rid][pkt.dst]
         if pkt.dst == router.rid:
             return LOCAL_PORT
+        fa = self.faults
+        if fa is not None:
+            # links are down: adaptivity is suspended in favour of the
+            # fault-aware detour tables (minimal-path choice sets cannot
+            # see the health mask)
+            port = fa.route_port(self, router.rid, pkt.dst)
+            if port >= 0:
+                return port
         nxt = self.routing.next_hop(self, router.rid, pkt)
         return self._port_of[router.rid][nxt]
 
@@ -150,6 +171,11 @@ class PhysicalNetwork:
             return tables[pkt.net][router.rid][pkt.dst]
         if pkt.dst == router.rid:
             return LOCAL_PORT
+        fa = self.faults
+        if fa is not None:
+            port = fa.route_port(self, router.rid, pkt.dst)
+            if port >= 0:
+                return port
         nxt = self.routing.dor_next(router.rid, pkt)
         return self._port_of[router.rid][nxt]
 
@@ -161,6 +187,11 @@ class PhysicalNetwork:
 
     def eject_flit(self, rid: int, pkt: Packet, is_tail: bool, cycle: int) -> None:
         if is_tail:
+            fa = self.faults
+            if fa is not None and fa.discard_on_eject(pkt, rid, cycle):
+                # CRC check failed: the packet is consumed without being
+                # delivered; the requester's retransmit guard answers it
+                return
             pkt.delivered = cycle
             self.packets_delivered += 1
             self.flits_delivered += pkt.size_flits
@@ -204,10 +235,16 @@ class PhysicalNetwork:
 
     def step(self, cycle: int) -> None:
         self.cycles += 1
+        frozen = self.fault_frozen
         if self.full_scan:
-            for router in self.routers:
-                if router.active:
-                    router.step(cycle)
+            if frozen:
+                for router in self.routers:
+                    if router.active and router.rid not in frozen:
+                        router.step(cycle)
+            else:
+                for router in self.routers:
+                    if router.active:
+                        router.step(cycle)
             return
         ids = self._active_ids
         wakes = self._wakes
@@ -238,6 +275,10 @@ class PhysicalNetwork:
             else:
                 break
             self._cursor = rid
+            if frozen and rid in frozen:
+                # frozen router: buffers hold their flits, nothing
+                # arbitrates; stays in the active set for the thaw
+                continue
             router = routers[rid]
             if not router.active:
                 ids.discard(rid)
@@ -363,6 +404,8 @@ class NocFabric:
         self.full_scan = False
         #: attached telemetry collector (None = disabled).
         self.telemetry = None
+        #: attached fault controller (None = no fault plan installed).
+        self.faults = None
 
     # -- telemetry ------------------------------------------------------
 

@@ -52,6 +52,10 @@ class NodeInterface:
         #: attached :class:`~repro.telemetry.collector.TelemetryCollector`
         #: (None when telemetry is disabled; every hook site is one check).
         self.telemetry = None
+        #: attached :class:`~repro.faults.controller.FaultController`
+        #: retransmit guard (None unless a fault plan with events is
+        #: installed; same single-check gating as telemetry).
+        self.fault_guard = None
         #: optional admission control for ejection (e.g. a full FRQ refuses
         #: delegated requests, back-pressuring the request network); see the
         #: ``eject_gate`` property below.
@@ -87,6 +91,8 @@ class NodeInterface:
         self.fabric.mark_nic_active(self.node_id)
         if self.telemetry is not None:
             self.telemetry.on_inject(pkt, cycle)
+        if self.fault_guard is not None:
+            self.fault_guard.on_send(self.node_id, pkt, cycle)
         return True
 
     # -- ejection (called by the network) ------------------------------
@@ -119,6 +125,8 @@ class NodeInterface:
         self.fabric.wake_node_routers(self.node_id)
 
     def deliver(self, pkt: Packet, cycle: int) -> None:
+        if self.fault_guard is not None:
+            self.fault_guard.on_deliver(self.node_id, pkt, cycle)
         self.flits_received[pkt.cls] += pkt.size_flits
         if pkt.size_flits > 1:
             self.data_flits_received += pkt.size_flits - 1

@@ -247,6 +247,7 @@ class Router:
         wake_at = -1
         dead = None
         tel = net.stall_tel
+        fa = net.faults
         cands = None if tel is None else []
         for key_iv, q in self.active.items():
             if not q:
@@ -289,6 +290,16 @@ class Router:
                         tel.on_stall(self, iport, ivc, pkt, _ST_EJECT, cycle)
                     continue
             else:
+                if fa is not None and (self.rid, oport) in net.fault_down:
+                    # chosen link is down: hold the worm here and, unless
+                    # a VC is already allocated on it, allow a re-route so
+                    # the detour tables take over next cycle
+                    if out_vc[iport][ivc] < 0:
+                        route_out[iport][ivc] = -1
+                    rescan = True
+                    if tel is not None:
+                        tel.on_stall(self, iport, ivc, pkt, _ST_ROUTE, cycle)
+                    continue
                 ovc = out_vc[iport][ivc]
                 down, dport = downstream[oport]
                 if ovc >= 0:
@@ -370,6 +381,8 @@ class Router:
                     dport, out_vc[win_iport][win_ivc], pkt, is_tail, cycle
                 )
                 net.link_flits[self.rid][win_oport] += 1
+                if fa is not None and nsent == 1:
+                    fa.on_link_head(net, self.rid, win_oport, pkt)
             if is_tail:
                 pkt.hops += 1
                 q.popleft()
@@ -449,6 +462,9 @@ class Router:
             ovc = self.out_vc[iport][ivc]
             down.accept_flit(dport, ovc, pkt, is_tail, cycle)
             net.link_flits[self.rid][oport] += 1
+            fa = net.faults
+            if fa is not None and nsent == 1:
+                fa.on_link_head(net, self.rid, oport, pkt)
         if is_tail:
             pkt.hops += 1
             q.popleft()

@@ -13,9 +13,76 @@ by the adaptive routing schemes (``adaptive_candidates``).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from collections import deque
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.config.system import DimensionOrder, Topology as TopologyKind
+
+
+class PartitionedTopologyError(RuntimeError):
+    """Down links have made some destination unreachable.
+
+    Raised by :func:`degraded_route_table`'s reachability check so a fault
+    plan that partitions the mesh fails fast instead of silently stranding
+    traffic behind a hole in the routing tables.
+    """
+
+
+def degraded_route_table(
+    topo: "BaseTopology",
+    port_of: Sequence[Dict[int, int]],
+    down: Set[Tuple[int, int]],
+) -> List[List[int]]:
+    """Healthy next-hop table detouring around down links.
+
+    ``down`` holds directed dead links as ``(router, output_port)`` pairs
+    (the same encoding the router link-health check uses).  For every
+    destination a reverse BFS over the healthy subgraph yields shortest
+    detours; ties break towards the lowest neighbour id so the table is
+    deterministic.  Returns ``table[rid][dst] -> output port`` (port 0,
+    the local/ejection port, when ``dst == rid``); raises
+    :class:`PartitionedTopologyError` when any pair is disconnected.
+    """
+    n = topo.n
+    healthy: List[List[int]] = [
+        sorted(
+            nb for nb in topo.neighbors(rid)
+            if (rid, port_of[rid][nb]) not in down
+        )
+        for rid in range(n)
+    ]
+    # reverse adjacency: who can still reach ``rid`` in one healthy hop
+    into: List[List[int]] = [[] for _ in range(n)]
+    for rid in range(n):
+        for nb in healthy[rid]:
+            into[nb].append(rid)
+    table: List[List[int]] = [[0] * n for _ in range(n)]
+    dist = [0] * n
+    for dst in range(n):
+        for i in range(n):
+            dist[i] = -1
+        dist[dst] = 0
+        queue = deque((dst,))
+        while queue:
+            cur = queue.popleft()
+            for prev in into[cur]:
+                if dist[prev] < 0:
+                    dist[prev] = dist[cur] + 1
+                    queue.append(prev)
+        for rid in range(n):
+            if rid == dst:
+                continue
+            if dist[rid] < 0:
+                raise PartitionedTopologyError(
+                    f"router {rid} cannot reach {dst}: down links "
+                    f"partition the topology"
+                )
+            # deterministic tie-break: lowest-id neighbour on a shortest path
+            nxt = min(
+                nb for nb in healthy[rid] if dist[nb] == dist[rid] - 1
+            )
+            table[rid][dst] = port_of[rid][nxt]
+    return table
 
 
 class BaseTopology:

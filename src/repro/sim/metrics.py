@@ -132,6 +132,20 @@ def collect_counters(system: HeterogeneousSystem) -> Dict[str, float]:
             n = net.delivered_by_type.get(int(mt), 0)
             if n:
                 c[f"noc.{prefix}.{mt.name}"] = n
+
+    # fault injection (keys exist only when a fault plan is installed, so
+    # plain runs' counter dicts stay bit-identical)
+    fc = system.faults
+    if fc is not None:
+        c["fault.drops"] = fc.drops
+        c["fault.corrupts"] = fc.corrupts
+        c["fault.discarded"] = fc.discarded
+        c["fault.retransmits"] = fc.retransmits
+        c["fault.fallback_dnfs"] = fc.fallback_dnfs
+        c["fault.recovered"] = fc.recovered
+        c["fault.lost"] = fc.lost
+        c["fault.watchdog_fires"] = fc.watchdog_fires
+        c["fault.links_downed"] = fc.links_downed
     return c
 
 
@@ -156,7 +170,7 @@ class SimulationResult:
     # headline metrics
     gpu_ipc: float = 0.0
     cpu_ipc: float = 0.0
-    cpu_avg_latency: float = 0.0
+    cpu_latency_avg: float = 0.0
     # reply-latency percentiles from the windowed log-bucketed histograms
     # (bucket-midpoint values, relative error <= 2^-sub_bits)
     cpu_latency_p50: float = 0.0
@@ -172,6 +186,11 @@ class SimulationResult:
     remote_hit_fraction: float = 0.0    # of delegated requests
     delegated_fraction: float = 0.0     # of L1 read misses
     noc_request_packets: float = 0.0
+    # fault injection (all zero unless a FaultPlan was installed)
+    fault_retransmits: float = 0.0
+    fault_lost: float = 0.0
+    fault_recovery_p50: float = 0.0
+    fault_recovery_p99: float = 0.0
     #: measured-window stall attribution (telemetry only): victim group
     #: ("CPU" | "GPU" | "mem") -> {stall class: blocked head-worm cycles}.
     #: Empty when telemetry or stall attribution is disabled — kept out of
@@ -191,16 +210,33 @@ class SimulationResult:
             for f in dataclasses.fields(self)
         }
 
+    #: legacy field name -> current name; applied by :meth:`from_dict` so
+    #: cached sweep results and JSON manifests written by older code still
+    #: load (extend this table on any future field rename).
+    _FIELD_RENAMES = {
+        "cpu_avg_latency": "cpu_latency_avg",
+    }
+
     @classmethod
     def from_dict(cls, data: Dict) -> "SimulationResult":
         """Rebuild from :meth:`to_dict` output.
 
-        Unknown keys are ignored so cached sweep results written by newer
-        code (with extra fields) still load; missing fields fall back to
-        their dataclass defaults.
+        Renamed fields are mapped through :attr:`_FIELD_RENAMES` (current
+        spellings win when both appear); unknown keys are ignored so cached
+        sweep results written by newer code (with extra fields) still load;
+        missing fields fall back to their dataclass defaults.
         """
         names = {f.name for f in dataclasses.fields(cls)}
-        return cls(**{k: v for k, v in data.items() if k in names})
+        out = {k: v for k, v in data.items() if k in names}
+        for old, new in cls._FIELD_RENAMES.items():
+            if old in data and new not in out:
+                out[new] = data[old]
+        return cls(**out)
+
+    @property
+    def cpu_avg_latency(self) -> float:
+        """Deprecated alias of :attr:`cpu_latency_avg`."""
+        return self.cpu_latency_avg
 
     @property
     def llc_direct_fraction(self) -> float:
@@ -244,7 +280,7 @@ def derive_result(system: HeterogeneousSystem, window: Dict[str, float]) -> Simu
     if system.cpu_cores:
         res.cpu_ipc = window.get("cpu.insts", 0) / cycles / len(system.cpu_cores)
         replies = window.get("cpu.replies", 0)
-        res.cpu_avg_latency = (
+        res.cpu_latency_avg = (
             window.get("cpu.total_latency", 0) / replies if replies else 0.0
         )
         cpu_hist = _window_hist(window, "cpu.lat_hist.")
@@ -285,6 +321,14 @@ def derive_result(system: HeterogeneousSystem, window: Dict[str, float]) -> Simu
     )
     res.remote_hit_fraction = remote_ok / served if served else 0.0
     res.noc_request_packets = window.get("noc.req_packets", 0)
+    fc = system.faults
+    if fc is not None:
+        res.fault_retransmits = window.get("fault.retransmits", 0)
+        res.fault_lost = window.get("fault.lost", 0)
+        # recovery-time percentiles cover the whole run (recoveries are
+        # rare events; a warmup-only split would usually be empty)
+        res.fault_recovery_p50 = fc.recovery_percentile(50)
+        res.fault_recovery_p99 = fc.recovery_percentile(99)
     if system.telemetry is not None:
         res.stall_breakdown = system.telemetry.stall_breakdown()
     return res

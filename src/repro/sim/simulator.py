@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from repro.config.system import SystemConfig
+from repro.faults.plan import FaultPlan
 from repro.sim.metrics import (
     SimulationResult,
     collect_counters,
@@ -22,14 +23,14 @@ from repro.workloads.cpu import CpuBenchmarkProfile, cpu_benchmark
 from repro.workloads.gpu import GpuBenchmarkProfile, gpu_benchmark
 
 GpuSpec = Union[str, GpuBenchmarkProfile]
-CpuSpec = Union[str, CpuBenchmarkProfile, None]
+CpuSpec = Union[str, CpuBenchmarkProfile]
 
 
 def _resolve_gpu(spec: GpuSpec) -> GpuBenchmarkProfile:
     return gpu_benchmark(spec) if isinstance(spec, str) else spec
 
 
-def _resolve_cpu(spec: CpuSpec) -> Optional[CpuBenchmarkProfile]:
+def _resolve_cpu(spec: Optional[CpuSpec]) -> Optional[CpuBenchmarkProfile]:
     if spec is None:
         return None
     return cpu_benchmark(spec) if isinstance(spec, str) else spec
@@ -38,8 +39,9 @@ def _resolve_cpu(spec: CpuSpec) -> Optional[CpuBenchmarkProfile]:
 def build_system(
     cfg: SystemConfig,
     gpu: GpuSpec,
-    cpu: CpuSpec = None,
+    cpu: Optional[CpuSpec] = None,
     kernel_flush_interval: int = 0,
+    faults: Optional[FaultPlan] = None,
 ) -> HeterogeneousSystem:
     """Construct (but do not run) the system for a workload mix."""
     return HeterogeneousSystem(
@@ -47,17 +49,19 @@ def build_system(
         _resolve_gpu(gpu),
         _resolve_cpu(cpu),
         kernel_flush_interval=kernel_flush_interval,
+        faults=faults,
     )
 
 
 def run_simulation(
     cfg: SystemConfig,
     gpu: GpuSpec,
-    cpu: CpuSpec = None,
+    cpu: Optional[CpuSpec] = None,
     cycles: int = 20_000,
     warmup: int = 2_000,
     kernel_flush_interval: int = 0,
     system: Optional[HeterogeneousSystem] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> SimulationResult:
     """Simulate one workload mix and return its steady-state metrics.
 
@@ -72,9 +76,11 @@ def run_simulation(
             pointers every N cycles (software-coherence kernel boundaries).
         system: reuse a pre-built system (advanced; ``cfg``/workload
             arguments are ignored for construction then).
+        faults: optional :class:`~repro.faults.plan.FaultPlan` installing
+            the fault-injection layer (see :mod:`repro.faults`).
     """
     if system is None:
-        system = build_system(cfg, gpu, cpu, kernel_flush_interval)
+        system = build_system(cfg, gpu, cpu, kernel_flush_interval, faults)
     system.run(warmup)
     baseline = collect_counters(system)
     if system.telemetry is not None:

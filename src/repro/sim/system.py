@@ -19,6 +19,8 @@ from repro.coherence.software import SoftwareCoherenceController
 from repro.core.delegated_replies import DelegatedRepliesMechanism
 from repro.core.realistic_probing import ProbeEngine
 from repro.cpu.core import CpuCore
+from repro.faults.controller import FaultController
+from repro.faults.plan import FaultPlan
 from repro.gpu.core import GpuCore
 from repro.gpu.cta import apply_cta_policy
 from repro.gpu.shared_l1 import (
@@ -75,6 +77,7 @@ class HeterogeneousSystem:
         gpu_profile: GpuBenchmarkProfile,
         cpu_profile: Optional[CpuBenchmarkProfile] = None,
         kernel_flush_interval: int = 0,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         cfg = _apply_sim_scale(cfg)
         self.cfg = cfg
@@ -171,6 +174,19 @@ class HeterogeneousSystem:
             )
             self.fabric.attach_telemetry(self.telemetry)
 
+        # opt-in fault injection (repro.faults): installing a plan points
+        # every fault hook site at the controller; without one they all
+        # stay None and the hot path is untouched.
+        self.faults: Optional[FaultController] = None
+        if faults is not None:
+            self.faults = FaultController(
+                faults,
+                fabric=self.fabric,
+                addr_map=self.addr_map,
+                gpu_nodes=gpu_node_set,
+                telemetry=self.telemetry,
+            )
+
     def _build_l1(self, core_index: int):
         org = self.cfg.l1_org
         if org is L1Organization.PRIVATE:
@@ -201,6 +217,10 @@ class HeterogeneousSystem:
             core.step(cycle)
         for core in self.cpu_cores:
             core.step(cycle)
+        if self.faults is not None:
+            # fault events + timeout retransmits enqueue before injection,
+            # the same ordering the cores' own sends observe
+            self.faults.on_cycle(cycle)
         self.fabric.step(cycle)
         if self.telemetry is not None:
             self.telemetry.on_cycle(cycle)

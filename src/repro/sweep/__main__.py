@@ -35,6 +35,12 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.cli import (
+    add_deprecated_alias,
+    add_jobs_option,
+    add_seed_option,
+    add_window_options,
+)
 from repro.sweep.cache import ResultCache, default_cache_dir
 from repro.sweep.jobs import JobSpec, mechanism_jobs
 from repro.sweep.runner import JobOutcome, SweepRunner
@@ -47,13 +53,30 @@ def _specs_from_args(args) -> List[JobSpec]:
 
         benchmarks = default_benchmarks(subset=args.subset)
     mechanisms = args.mechanisms.split(",") if args.mechanisms else None
-    return mechanism_jobs(
+    specs = mechanism_jobs(
         benchmarks=benchmarks,
         n_mixes=args.n_mixes,
         cycles=args.cycles,
         warmup=args.warmup,
         mechanisms=mechanisms,
     )
+    if getattr(args, "seed", None) is not None:
+        # a different seed is a different simulation (and cache key):
+        # rebuild each spec around the reseeded config
+        specs = [
+            JobSpec.make(
+                {**json.loads(s.config_json), "seed": args.seed},
+                s.gpu,
+                s.cpu,
+                cycles=s.cycles,
+                warmup=s.warmup,
+                kernel_flush_interval=s.kernel_flush_interval,
+                label=s.label,
+                faults=s.faults,
+            )
+            for s in specs
+        ]
+    return specs
 
 
 def _cache_from_args(args) -> ResultCache:
@@ -245,7 +268,7 @@ def _cmd_run(args) -> int:
         print(f"{len(outcomes)} job(s): {counts['ok']} simulated, "
               f"{counts['cached']} from cache, {counts['failed']} failed "
               f"in {wall:.1f}s ({rate:.2f} jobs/s)")
-        if args.manifest:
+        if args.out:
             manifest = {
                 "workers": runner.jobs,
                 "wall_time_s": round(wall, 3),
@@ -253,10 +276,10 @@ def _cmd_run(args) -> int:
                 "cache_dir": str(cache.root),
                 "jobs": [o.as_dict() for o in outcomes.values()],
             }
-            with open(args.manifest, "w") as fh:
+            with open(args.out, "w") as fh:
                 json.dump(manifest, fh, indent=2)
                 fh.write("\n")
-            print(f"wrote {args.manifest}")
+            print(f"wrote {args.out}")
         if counts["failed"]:
             return 1
     return 130 if interrupted else 0
@@ -271,10 +294,8 @@ def _add_sweep_options(p: argparse.ArgumentParser) -> None:
                    help="Table II CPU co-runners per GPU benchmark")
     p.add_argument("--mechanisms", default=None,
                    help="comma-separated subset of baseline,rp,dr")
-    p.add_argument("--cycles", type=int, default=None,
-                   help="measured window (default: $REPRO_CYCLES or 3000)")
-    p.add_argument("--warmup", type=int, default=None,
-                   help="warmup window (default: $REPRO_WARMUP or 2000)")
+    add_window_options(p)
+    add_seed_option(p)
     p.add_argument("--cache-dir", default=None,
                    help="result cache directory "
                         "(default: $REPRO_SWEEP_CACHE or .repro_sweep_cache)")
@@ -292,9 +313,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     run_p = sub.add_parser("run", help="execute the sweep")
     _add_sweep_options(run_p)
-    run_p.add_argument("--jobs", type=int, default=None,
-                       help="worker processes "
-                            "(default: $REPRO_SWEEP_JOBS or 1)")
+    add_jobs_option(run_p)
     run_p.add_argument("--resume", action="store_true",
                        help="reuse cached results (the default; flag kept "
                             "for explicit resume-after-interrupt runs)")
@@ -302,8 +321,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="ignore cached results and recompute everything")
     run_p.add_argument("--retries", type=int, default=2,
                        help="retry rounds for failed jobs (default 2)")
-    run_p.add_argument("--manifest", default=None,
+    run_p.add_argument("--out", default=None,
                        help="write a JSON run manifest to this path")
+    add_deprecated_alias(run_p, "--manifest", "--out")
     run_p.add_argument("--progress-log", default=None,
                        help="per-job JSONL progress log "
                             "(default: <cache-dir>/progress.jsonl)")

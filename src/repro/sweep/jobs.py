@@ -31,7 +31,9 @@ from repro.config.system import SystemConfig
 #: fields (repro.telemetry).
 #: sweep-v3: results carry stall-attribution breakdown fields
 #: (repro.telemetry.blame).
-CODE_VERSION = "sweep-v3"
+#: sweep-v4: specs can carry a fault plan (repro.faults) and results
+#: rename cpu_avg_latency -> cpu_latency_avg + gain fault_* fields.
+CODE_VERSION = "sweep-v4"
 
 
 def code_salt() -> str:
@@ -55,6 +57,10 @@ class JobSpec:
     kernel_flush_interval: int = 0
     #: display/bookkeeping label; NOT part of the cache key.
     label: Tuple[str, ...] = ()
+    #: canonical JSON of the :class:`~repro.faults.plan.FaultPlan`, or
+    #: None for a fault-free run.  Part of the cache key: a chaos run and
+    #: a clean run of the same config are different results.
+    faults: Optional[str] = None
 
     @classmethod
     def make(
@@ -66,9 +72,15 @@ class JobSpec:
         warmup: int = 2000,
         kernel_flush_interval: int = 0,
         label: Sequence[str] = (),
+        faults: Any = None,
     ) -> "JobSpec":
         if isinstance(config, SystemConfig):
             config = config.to_dict()
+        if faults is not None and not isinstance(faults, str):
+            if isinstance(faults, dict):
+                faults = _canonical_json(faults)
+            else:  # a FaultPlan
+                faults = faults.canonical_json()
         return cls(
             config_json=_canonical_json(config),
             gpu=gpu,
@@ -77,6 +89,7 @@ class JobSpec:
             warmup=int(warmup),
             kernel_flush_interval=int(kernel_flush_interval),
             label=tuple(label),
+            faults=faults,
         )
 
     # -- identity ---------------------------------------------------------
@@ -100,6 +113,7 @@ class JobSpec:
                 "cycles": self.cycles,
                 "warmup": self.warmup,
                 "kernel_flush_interval": self.kernel_flush_interval,
+                "faults": self.faults,
             }
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
@@ -109,6 +123,14 @@ class JobSpec:
     def system_config(self) -> SystemConfig:
         """Rebuild the full :class:`SystemConfig` this spec describes."""
         return config_from_dict(json.loads(self.config_json))
+
+    def fault_plan(self):
+        """Rebuild the :class:`~repro.faults.plan.FaultPlan`, or None."""
+        if self.faults is None:
+            return None
+        from repro.faults.plan import FaultPlan
+
+        return FaultPlan.from_dict(json.loads(self.faults))
 
     def describe(self) -> str:
         if self.label:

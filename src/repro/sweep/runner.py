@@ -78,6 +78,7 @@ def simulate_job(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
         cycles=spec.cycles,
         warmup=spec.warmup,
         kernel_flush_interval=spec.kernel_flush_interval,
+        faults=spec.fault_plan(),
     )
     return {
         "result": result.to_dict(),
@@ -115,13 +116,17 @@ class JobOutcome:
             # headline + histogram-derived tail metrics so manifests are
             # usable without re-opening the cache
             d["metrics"] = {
-                "cpu_avg_latency": round(self.result.cpu_avg_latency, 2),
+                "cpu_latency_avg": round(self.result.cpu_latency_avg, 2),
                 "cpu_latency_p50": self.result.cpu_latency_p50,
                 "cpu_latency_p95": self.result.cpu_latency_p95,
                 "cpu_latency_p99": self.result.cpu_latency_p99,
                 "gpu_latency_p99": self.result.gpu_latency_p99,
                 "mem_blocking_rate": round(self.result.mem_blocking_rate, 4),
             }
+            if self.result.fault_retransmits or self.result.fault_lost:
+                d["metrics"]["fault_retransmits"] = self.result.fault_retransmits
+                d["metrics"]["fault_lost"] = self.result.fault_lost
+                d["metrics"]["fault_recovery_p99"] = self.result.fault_recovery_p99
             shares = stall_shares(self.result.stall_breakdown)
             if shares:
                 d["metrics"]["stall_shares"] = shares

@@ -22,6 +22,7 @@ import argparse
 import struct
 import sys
 
+from repro.cli import add_out_option, add_seed_option, add_window_options
 from repro.telemetry.report import (
     load_summary,
     render_blame,
@@ -36,7 +37,7 @@ def _add_trace_parser(sub) -> None:
     p = sub.add_parser(
         "trace", help="run a traced simulation and write a trace file"
     )
-    p.add_argument("--out", required=True, help="trace output path")
+    add_out_option(p, required=True, help="trace output path")
     p.add_argument("--format", choices=("jsonl", "bin"), default="jsonl")
     p.add_argument("--gpu", default="SC",
                    help="GPU benchmark (default SC, the clogging-heavy one)")
@@ -45,8 +46,8 @@ def _add_trace_parser(sub) -> None:
                         "Table II mix)")
     p.add_argument("--mechanism", choices=("baseline", "rp", "dr"),
                    default="baseline")
-    p.add_argument("--cycles", type=int, default=2000)
-    p.add_argument("--warmup", type=int, default=1000)
+    add_window_options(p, cycles=2000, warmup=1000)
+    add_seed_option(p)
     p.add_argument("--sample-rate", type=float, default=1.0)
     p.add_argument("--probe-interval", type=int, default=200)
     p.add_argument("--clog-threshold", type=float, default=0.9)
@@ -59,6 +60,8 @@ def cmd_trace(args) -> int:
     from repro.sim.simulator import run_simulation
 
     cfg = mechanism_config(args.mechanism)
+    if args.seed is not None:
+        cfg.seed = args.seed
     tel = cfg.telemetry
     tel.enabled = True
     tel.trace_path = args.out
@@ -76,7 +79,7 @@ def cmd_trace(args) -> int:
         f"{args.warmup}+{args.cycles} cycles -> {args.out}"
     )
     print(
-        f"  cpu latency: avg {result.cpu_avg_latency:.1f}  "
+        f"  cpu latency: avg {result.cpu_latency_avg:.1f}  "
         f"p50 {result.cpu_latency_p50:.0f}  "
         f"p95 {result.cpu_latency_p95:.0f}  "
         f"p99 {result.cpu_latency_p99:.0f}"

@@ -225,6 +225,21 @@ class TelemetryCollector:
         if self._tracing and self._sampled(reply.pid):
             self.sink.packet_event("delegate", cycle, reply, value=delegated.dst)
 
+    # -- fault-injection hooks (repro.faults) ---------------------------
+
+    def on_fault_event(self, rec: Dict) -> None:
+        """The fault controller reports a discard, watchdog fire, etc.
+
+        ``rec`` is a complete trace record (``rec="fault"``) whose
+        ``fault`` key names the event (``flit_drop`` / ``flit_corrupt`` /
+        ``fault_stall``); it is counted in :attr:`events` and written to
+        the trace sink unsampled — faults are rare and every one matters.
+        """
+        name = rec.get("fault", "fault")
+        self.events[name] = self.events.get(name, 0) + 1
+        if self._tracing:
+            self.sink.record(rec)
+
     # -- stall-attribution hooks ----------------------------------------
 
     def on_stall(self, router, port: int, vc: int, pkt, klass: int, cycle: int) -> None:

@@ -1,0 +1,154 @@
+"""Public-API stability: repro.api surface, result schema, CLI flags."""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+
+import pytest
+from conftest import small_config
+
+import repro
+import repro.api as api
+from repro.sim.metrics import SimulationResult
+
+#: the frozen public surface — editing this list IS the API review.
+EXPECTED_API = [
+    "FaultPlan",
+    "SimulationResult",
+    "build_system",
+    "chaos_plan",
+    "run_simulation",
+    "simulate",
+]
+
+#: SimulationResult's field names; renames must go through
+#: SimulationResult._FIELD_RENAMES plus a property alias.
+EXPECTED_RESULT_FIELDS = {
+    "cycles", "counters", "n_gpu", "n_cpu", "n_mem",
+    "gpu_ipc", "cpu_ipc", "cpu_latency_avg",
+    "cpu_latency_p50", "cpu_latency_p95", "cpu_latency_p99",
+    "gpu_latency_p50", "gpu_latency_p95", "gpu_latency_p99",
+    "gpu_data_rate", "mem_blocking_rate", "mem_reply_link_utilization",
+    "l1_miss_rate", "remote_hit_fraction", "delegated_fraction",
+    "noc_request_packets",
+    "fault_retransmits", "fault_lost",
+    "fault_recovery_p50", "fault_recovery_p99",
+    "stall_breakdown",
+}
+
+
+class TestApiSurface:
+    def test_all_snapshot(self):
+        assert api.__all__ == EXPECTED_API
+        for name in EXPECTED_API:
+            assert getattr(api, name) is not None
+
+    def test_package_level_simulate(self):
+        assert "simulate" in repro.__all__
+        res = repro.simulate(small_config(), "BP", cycles=300, warmup=150)
+        assert isinstance(res, SimulationResult)
+
+    def test_simulate_is_keyword_only_after_workload(self):
+        sig = inspect.signature(api.simulate)
+        params = list(sig.parameters.values())
+        assert [p.name for p in params[:2]] == ["cfg", "workload"]
+        assert all(
+            p.kind is inspect.Parameter.KEYWORD_ONLY for p in params[2:]
+        )
+        with pytest.raises(TypeError):
+            api.simulate(small_config(), "BP", "canneal")  # noqa: the point
+
+    def test_simulate_smoke(self):
+        res = api.simulate(
+            small_config(), "BP", cpu="canneal", cycles=300, warmup=150
+        )
+        assert res.gpu_ipc > 0
+        assert res.cpu_latency_avg > 0
+
+    def test_simulate_accepts_fault_plan(self):
+        plan = api.chaos_plan(small_config(), 0.1, seed=1,
+                              warmup=150, cycles=400)
+        res = api.simulate(small_config(), "BP", cpu="canneal",
+                           cycles=400, warmup=150, faults=plan)
+        assert res.counters.get("fault.drops", 0) > 0
+
+
+class TestResultSchema:
+    def test_field_snapshot(self):
+        names = {f.name for f in dataclasses.fields(SimulationResult)}
+        assert names == EXPECTED_RESULT_FIELDS
+
+    def test_round_trip(self):
+        res = api.simulate(small_config(), "BP", cycles=300, warmup=150)
+        clone = SimulationResult.from_dict(res.to_dict())
+        assert clone.to_dict() == res.to_dict()
+
+    def test_from_dict_maps_legacy_rename(self):
+        legacy = SimulationResult(cycles=100).to_dict()
+        legacy["cpu_avg_latency"] = legacy.pop("cpu_latency_avg")
+        legacy["cpu_avg_latency"] = 42.5
+        res = SimulationResult.from_dict(legacy)
+        assert res.cpu_latency_avg == 42.5
+        # canonical spelling wins when both keys appear
+        both = dict(legacy, cpu_latency_avg=7.0)
+        assert SimulationResult.from_dict(both).cpu_latency_avg == 7.0
+
+    def test_deprecated_property_alias(self):
+        res = SimulationResult(cycles=1, cpu_latency_avg=3.5)
+        assert res.cpu_avg_latency == 3.5
+
+    def test_unknown_keys_ignored(self):
+        data = SimulationResult(cycles=5).to_dict()
+        data["metric_from_the_future"] = 1.0
+        assert SimulationResult.from_dict(data).cycles == 5
+
+
+class TestCliConventions:
+    def test_shared_flags_spelled_identically(self):
+        """Every repro CLI spells the shared flags the same way."""
+        import argparse
+
+        from repro.cli import (
+            add_jobs_option,
+            add_out_option,
+            add_seed_option,
+            add_window_options,
+        )
+
+        p = argparse.ArgumentParser()
+        add_window_options(p, cycles=10, warmup=5)
+        add_jobs_option(p)
+        add_out_option(p, default="x.json")
+        add_seed_option(p)
+        args = p.parse_args([])
+        assert (args.cycles, args.warmup, args.out) == (10, 5, "x.json")
+        assert args.jobs is None and args.seed is None
+
+    def test_deprecated_alias_warns_and_maps(self, capsys):
+        import argparse
+
+        from repro.cli import add_deprecated_alias, add_out_option
+
+        p = argparse.ArgumentParser()
+        add_out_option(p)
+        add_deprecated_alias(p, "--manifest", "--out")
+        args = p.parse_args(["--manifest", "m.json"])
+        assert args.out == "m.json"
+        assert "deprecated" in capsys.readouterr().err
+
+    def test_sweep_manifest_alias(self, capsys, tmp_path, monkeypatch):
+        """python -m repro.sweep run --manifest still works, with a nudge."""
+        from repro.sweep.__main__ import main
+
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "cache"))
+        out = tmp_path / "manifest.json"
+        rc = main([
+            "run", "--benchmarks", "HS", "--mechanisms", "baseline",
+            "--cycles", "100", "--warmup", "50",
+            "--manifest", str(out),
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert out.exists()
+        assert "deprecated" in captured.err

@@ -30,7 +30,7 @@ class TestRun:
         assert rc == 0
         out = capsys.readouterr().out
         assert "delegated_fraction" in out
-        assert "cpu_avg_latency" in out
+        assert "cpu_latency_avg" in out
 
     def test_unknown_benchmark_raises(self):
         with pytest.raises(KeyError):
