@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI check: the sweep fabric's parallel scaling must never regress again.
+#
+# Runs the sweep-throughput bench (quick mode, 2 workers) and fails if
+# the fabric's measured parallel_speedup drops below 1.2x.  The speedup
+# is measured on calibrated fixed-duration probe jobs (see
+# repro.bench.harness.run_sweep_throughput), so the gate is stable on
+# single-core shared runners while still catching every fabric
+# regression the old cold-pool runner exhibited (0.893x, slower than
+# serial).  The caller wraps this script in `timeout 90`.
+set -euo pipefail
+
+OUT=/tmp/BENCH_sweep_scaling.json
+rm -f "$OUT"
+
+python -m repro.bench --quick --configs sweep_throughput --jobs 2 \
+  --out "$OUT"
+
+python - "$OUT" <<'PY'
+import json
+import sys
+
+cfg = json.load(open(sys.argv[1]))["configs"]["sweep_throughput"]
+speedup = cfg["parallel_speedup"]
+scaling = cfg["scaling"]
+print(f"fabric scaling: {scaling} (headline @2 workers: {speedup}x, "
+      f"sim_speedup: {cfg['sim_speedup']}x)")
+assert speedup >= 1.2, (
+    f"sweep fabric parallel_speedup regressed: {speedup} < 1.2 "
+    f"(scaling: {scaling})"
+)
+print(f"ok: parallel_speedup {speedup} >= 1.2 with 2 workers")
+PY

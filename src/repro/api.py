@@ -11,9 +11,12 @@ Everything an external caller needs lives behind this one module:
                       cpu="canneal", cycles=20_000)
     print(result.gpu_ipc, result.cpu_latency_avg)
 
-:func:`simulate` is the single documented entry point; everything after
-the config and workload is keyword-only so call sites stay readable and
-new options never break positional callers.  The lower-level
+:func:`simulate` is the single-run entry point; everything after the
+config and workload is keyword-only so call sites stay readable and
+new options never break positional callers.  For batches,
+:func:`run_sweep` plus :class:`JobSpec` is the campaign entry point —
+warm worker pools (``jobs``), chunked submission (``batch``), on-disk
+result caching and retries, see :mod:`repro.sweep`.  The lower-level
 :func:`run_simulation` / :func:`build_system` pair is re-exported for
 callers that need to drive a :class:`HeterogeneousSystem` cycle by
 cycle (telemetry tooling, the fault-injection harness).
@@ -38,13 +41,16 @@ from repro.sim.simulator import (
     build_system,
     run_simulation,
 )
+from repro.sweep import JobSpec, run_sweep
 
 __all__ = [
     "FaultPlan",
+    "JobSpec",
     "SimulationResult",
     "build_system",
     "chaos_plan",
     "run_simulation",
+    "run_sweep",
     "simulate",
 ]
 

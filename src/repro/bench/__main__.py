@@ -83,13 +83,18 @@ def main(argv=None) -> int:
                 workers=args.jobs,
                 cycles=150 if args.quick else 300,
                 warmup=100 if args.quick else 200,
+                probe_jobs=8 if args.quick else 16,
             )
             results[name] = res.as_dict()
+            scaling = ", ".join(
+                f"{w}w={s:.2f}x" for w, s in res.extra["scaling"].items()
+            )
             print(
                 f"{name:>12}: {res.extra['jobs_per_sec_1']:.2f} jobs/s @1 "
                 f"-> {res.extra['jobs_per_sec_n']:.2f} jobs/s "
                 f"@{res.extra['workers']} workers "
-                f"({res.extra['parallel_speedup']:.2f}x)"
+                f"(sim {res.extra['sim_speedup']:.2f}x; "
+                f"fabric scaling {scaling})"
             )
             continue
         cycles = args.cycles

@@ -7,6 +7,7 @@ through these helpers:
 ``--cycles N``   measured-window length
 ``--warmup N``   warmup length
 ``--jobs N``     worker processes
+``--batch N``    sweep jobs per worker task (chunked submission)
 ``--out PATH``   primary output file
 ``--seed N``     override the config's RNG seed
 
@@ -56,6 +57,15 @@ def add_jobs_option(
     help: str = "worker processes (default: $REPRO_SWEEP_JOBS or 1)",
 ) -> None:
     parser.add_argument("--jobs", type=int, default=default, help=help)
+
+
+def add_batch_option(
+    parser: argparse.ArgumentParser,
+    default: Optional[int] = None,
+    help: str = "sweep jobs per worker task "
+    "(default: $REPRO_SWEEP_BATCH or adaptive; 1 disables batching)",
+) -> None:
+    parser.add_argument("--batch", type=int, default=default, help=help)
 
 
 def add_out_option(

@@ -51,6 +51,7 @@ def run(
     intensities: Sequence[float] = INTENSITIES,
     seed: int = 0,
     jobs: Optional[int] = None,
+    batch: Optional[int] = None,
 ) -> ExperimentResult:
     """Sweep fault intensity x mechanism; report degradation + recovery."""
     from repro.faults.plan import chaos_plan
@@ -83,7 +84,7 @@ def run(
                     specs.append(spec)
                     index[(gpu, cpu, mech, level)] = spec
 
-    results = run_sweep(specs, jobs=jobs)
+    results = run_sweep(specs, jobs=jobs, batch=batch)
 
     rows: List[Tuple[str, dict]] = []
     total_lost = 0

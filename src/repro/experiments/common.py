@@ -122,11 +122,13 @@ def mechanism_sweep(
     warmup: Optional[int] = None,
     mechanisms: Sequence[str] = MECHANISMS,
     jobs: Optional[int] = None,
+    batch: Optional[int] = None,
 ) -> Dict[Tuple[str, str, str], SimulationResult]:
     """Simulate every (GPU bench, CPU co-runner, mechanism) triple.
 
     Execution goes through the :mod:`repro.sweep` runner — ``jobs``
-    worker processes (default ``REPRO_SWEEP_JOBS`` or 1) and, when
+    worker processes (default ``REPRO_SWEEP_JOBS`` or 1), ``batch``
+    jobs per worker task (default adaptive) and, when
     ``REPRO_SWEEP_CACHE`` is set, an on-disk result cache.  Results are
     additionally memoised per process so the per-figure modules can share
     one sweep.  Keys are ``(gpu, cpu, mechanism)``.
@@ -139,7 +141,7 @@ def mechanism_sweep(
     if key in _SWEEP_CACHE:
         return _SWEEP_CACHE[key]
     specs = mechanism_jobs(benchmarks, n_mixes, cycles, warmup, mechanisms)
-    results = run_sweep(specs, jobs=jobs)
+    results = run_sweep(specs, jobs=jobs, batch=batch)
     out = {
         (spec.label[0], spec.label[1], spec.label[2]): results[spec.key()]
         for spec in specs

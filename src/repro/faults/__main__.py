@@ -31,6 +31,7 @@ import json
 import sys
 
 from repro.cli import (
+    add_batch_option,
     add_jobs_option,
     add_out_option,
     add_seed_option,
@@ -130,6 +131,7 @@ def cmd_sweep(args) -> int:
         warmup=args.warmup,
         seed=args.seed or 0,
         jobs=args.jobs,
+        batch=args.batch,
     )
     print(result.text)
     if args.out:
@@ -179,6 +181,7 @@ def main(argv=None) -> int:
     add_window_options(sweep_p)
     add_seed_option(sweep_p)
     add_jobs_option(sweep_p)
+    add_batch_option(sweep_p)
     add_out_option(sweep_p, help="write the sweep rows as JSON")
 
     args = parser.parse_args(argv)

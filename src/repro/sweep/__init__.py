@@ -23,11 +23,15 @@ from repro.sweep.jobs import (
     mechanism_jobs,
 )
 from repro.sweep.runner import (
+    ENV_BATCH,
     ENV_JOBS,
     JobOutcome,
     SweepError,
     SweepRunner,
+    default_batch,
     default_jobs,
+    pool_context,
+    run_job_batch,
     run_sweep,
     simulate_job,
 )
@@ -35,6 +39,7 @@ from repro.sweep.runner import (
 __all__ = [
     "CODE_VERSION",
     "DEFAULT_CACHE_DIRNAME",
+    "ENV_BATCH",
     "ENV_CACHE_DIR",
     "ENV_JOBS",
     "JobOutcome",
@@ -44,9 +49,12 @@ __all__ = [
     "SweepRunner",
     "code_salt",
     "dedupe",
+    "default_batch",
     "default_cache_dir",
     "default_jobs",
     "mechanism_jobs",
+    "pool_context",
+    "run_job_batch",
     "run_sweep",
     "simulate_job",
 ]

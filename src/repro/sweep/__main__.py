@@ -13,6 +13,7 @@ Examples::
 
     python -m repro.sweep run --jobs 4                  # full Fig. 10 sweep
     python -m repro.sweep run --jobs 2 --benchmarks HS,SC --resume
+    python -m repro.sweep run --jobs 4 --batch 8        # fixed 8-job chunks
     python -m repro.sweep list --mechanisms baseline,dr
     python -m repro.sweep status
     python -m repro.sweep clean
@@ -36,6 +37,7 @@ import time
 from typing import List, Optional
 
 from repro.cli import (
+    add_batch_option,
     add_deprecated_alias,
     add_jobs_option,
     add_seed_option,
@@ -241,8 +243,14 @@ def _cmd_run(args) -> int:
         max_retries=args.retries,
         use_cache=not args.force,
         progress=progress,
+        batch=args.batch,
     )
-    plog.write({"rec": "start", "total": len(specs), "workers": runner.jobs})
+    plog.write({
+        "rec": "start",
+        "total": len(specs),
+        "workers": runner.jobs,
+        "batch": runner.batch or "adaptive",
+    })
     t0 = time.perf_counter()
     interrupted = False
     try:
@@ -252,6 +260,8 @@ def _cmd_run(args) -> int:
               "re-run with --resume to continue", file=sys.stderr)
         interrupted = True
         outcomes = {}
+    finally:
+        runner.close()
     wall = time.perf_counter() - t0
     plog.write({
         "rec": "interrupted" if interrupted else "end",
@@ -271,6 +281,7 @@ def _cmd_run(args) -> int:
         if args.out:
             manifest = {
                 "workers": runner.jobs,
+                "batch": runner.batch or "adaptive",
                 "wall_time_s": round(wall, 3),
                 "totals": counts,
                 "cache_dir": str(cache.root),
@@ -314,6 +325,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_p = sub.add_parser("run", help="execute the sweep")
     _add_sweep_options(run_p)
     add_jobs_option(run_p)
+    add_batch_option(run_p)
     run_p.add_argument("--resume", action="store_true",
                        help="reuse cached results (the default; flag kept "
                             "for explicit resume-after-interrupt runs)")

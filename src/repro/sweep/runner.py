@@ -4,14 +4,33 @@ Execution model:
 
 * Specs are deduplicated by content key, then partitioned into cache
   hits (returned instantly) and pending jobs.
-* Pending jobs run on a ``ProcessPoolExecutor`` (``jobs`` workers); with
-  one worker — or a single job — they run inline in this process, which
-  is also the reference path the determinism tests compare against.
+* Pending jobs run on one *warm* ``ProcessPoolExecutor`` (``jobs``
+  workers) that the runner keeps alive across retry rounds — and across
+  ``run()`` calls — so process start-up and module imports are paid once
+  per worker, not once per round.  A pool ``initializer`` pre-imports
+  :mod:`repro.sim.simulator`, so the first job on each worker does not
+  pay the import tax either.  With one worker — or a single job — jobs
+  run inline in this process, which is also the reference path the
+  determinism tests compare against.
+* Jobs are submitted in *chunks* (``batch`` specs per future, adaptive
+  by default) so pickle/IPC round-trips amortise across short jobs.
+  Each job inside a chunk still succeeds or fails individually, and the
+  parent persists and reports every job the moment its chunk lands, so
+  the :class:`ResultCache` granularity stays per-job.
+* The pool uses the ``fork`` start method where the platform offers it
+  (workers inherit the parent's already-imported modules for free) and
+  falls back to ``spawn`` elsewhere; the initializer covers the spawn
+  case.
 * Each result is persisted to the :class:`ResultCache` *as it arrives*,
   so an interrupted sweep resumes from exactly the jobs that finished.
-* Failed jobs are retried in later rounds with capped exponential
-  backoff between rounds; a job that exhausts its attempts is reported
-  as ``failed`` without aborting the rest of the sweep.
+* Failed jobs are retried in later rounds; the first retry runs
+  immediately (a fresh failure has not yet demonstrated persistence —
+  deterministic failures should not serialise behind a pointless sleep)
+  and only failures that survive a retry round trigger the capped
+  exponential backoff.  A job that exhausts its attempts is reported as
+  ``failed`` without aborting the rest of the sweep.  A worker process
+  dying (``BrokenProcessPool``) fails only the chunks in flight; the
+  pool is rebuilt before the next retry round.
 
 Simulations are deterministic functions of their :class:`JobSpec`, so
 the parallel and inline paths produce bit-identical
@@ -20,9 +39,12 @@ the parallel and inline paths produce bit-identical
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
@@ -32,6 +54,15 @@ from repro.sweep.cache import ENV_CACHE_DIR, ResultCache
 from repro.sweep.jobs import JobSpec, dedupe
 
 ENV_JOBS = "REPRO_SWEEP_JOBS"
+ENV_BATCH = "REPRO_SWEEP_BATCH"
+
+#: adaptive batching aims at this many chunks per worker: enough slack
+#: that a straggler chunk cannot idle the other workers for long, few
+#: enough that per-future pickle/IPC overhead stays amortised.
+CHUNKS_PER_WORKER = 4
+#: adaptive chunk-size ceiling, so one chunk never starves the
+#: per-job progress stream (and the incremental cache) for too long.
+MAX_ADAPTIVE_BATCH = 32
 
 
 def stall_shares(
@@ -40,25 +71,104 @@ def stall_shares(
     """Normalise a stall breakdown into per-group class *shares*.
 
     ``{"CPU": {"credit": 0.61, ...}, ...}`` — each group's classes sum
-    to 1.0 (4 decimal places), so manifests carry a headline "where did
-    the blocked cycles go" answer without absolute cycle counts that
-    depend on window length.  Empty groups (and an empty breakdown, the
-    untraced case) are dropped.
+    to exactly 1.0 (4 decimal places, largest-remainder apportionment),
+    so manifests carry a headline "where did the blocked cycles go"
+    answer without absolute cycle counts that depend on window length.
+    Empty groups (and an empty breakdown, the untraced case) are
+    dropped.
     """
     out: Dict[str, Dict[str, float]] = {}
     for group, classes in breakdown.items():
         total = sum(classes.values())
         if total <= 0:
             continue
+        # Independent rounding lets a group sum to 0.9999/1.0001, so
+        # apportion 10000 fixed-point units instead: floor each share,
+        # then hand the leftover units to the largest remainders
+        # (ties broken by class name, keeping the result deterministic).
+        names = sorted(classes)
+        units: List[int] = []
+        remainders: List[float] = []
+        for name in names:
+            exact = classes[name] * 10000.0 / total
+            floor = int(exact)
+            units.append(floor)
+            remainders.append(exact - floor)
+        leftover = 10000 - sum(units)
+        order = sorted(
+            range(len(names)), key=lambda i: (-remainders[i], names[i])
+        )
+        for i in order[:leftover]:
+            units[i] += 1
         out[group] = {
-            name: round(n / total, 4) for name, n in sorted(classes.items())
+            name: units[i] / 10000.0 for i, name in enumerate(names)
         }
     return out
 
 
+def _env_worker_count(env: str, fallback: Optional[int]) -> Optional[int]:
+    raw = os.environ.get(env)
+    if raw is None:
+        return fallback
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        print(
+            f"warning: ignoring {env}={raw!r} (not an integer); "
+            f"using {'adaptive' if fallback is None else fallback}",
+            file=sys.stderr,
+        )
+        return fallback
+
+
 def default_jobs() -> int:
-    """Worker count when unspecified (``REPRO_SWEEP_JOBS``, default 1)."""
-    return max(1, int(os.environ.get(ENV_JOBS, "1")))
+    """Worker count when unspecified (``REPRO_SWEEP_JOBS``, default 1).
+
+    A malformed value (``REPRO_SWEEP_JOBS=two``) warns once on stderr
+    and falls back to 1 instead of crashing the whole sweep.
+    """
+    return _env_worker_count(ENV_JOBS, 1)
+
+
+def default_batch() -> Optional[int]:
+    """Chunk size when unspecified (``REPRO_SWEEP_BATCH``, default
+    ``None`` = adaptive)."""
+    return _env_worker_count(ENV_BATCH, None)
+
+
+def pool_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context worker pools are built from.
+
+    ``fork`` where the platform offers it: forked workers inherit the
+    parent's imported modules (the simulator import tax is already
+    paid) and start in milliseconds.  Elsewhere (Windows, macOS
+    pythons configured spawn-only) this falls back to ``spawn``, where
+    the pool initializer pre-imports the simulator so the cost lands
+    once per worker at pool start, never per job.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _worker_init() -> None:
+    """Pool initializer: pre-import the simulator in the worker.
+
+    Import errors are deliberately swallowed — a failing import should
+    surface as a per-job error (with retries and a per-job message),
+    not as an opaque broken pool.
+    """
+    try:
+        import repro.sim.simulator  # noqa: F401
+    except Exception:  # pragma: no cover - exercised via job failure
+        pass
+
+
+def _worker_ready(delay_s: float) -> int:
+    """Warm-up barrier task: occupy one worker briefly, report its pid."""
+    time.sleep(delay_s)
+    return os.getpid()
 
 
 def simulate_job(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
@@ -84,6 +194,28 @@ def simulate_job(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
         "result": result.to_dict(),
         "wall_time_s": time.perf_counter() - t0,
     }
+
+
+def run_job_batch(
+    worker: Callable[[Dict[str, Any]], Dict[str, Any]],
+    spec_dicts: List[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Worker entry point for a chunk: run each job, isolate each error.
+
+    One future carries the whole chunk (amortising submit/pickle/IPC
+    overhead across short jobs), but every job inside it still succeeds
+    or fails on its own: a raising job yields an ``{"ok": False}``
+    record instead of poisoning its chunk-mates.
+    """
+    results: List[Dict[str, Any]] = []
+    for spec_dict in spec_dicts:
+        try:
+            results.append({"ok": True, "payload": worker(spec_dict)})
+        except Exception as exc:  # noqa: BLE001 - retried, then surfaced
+            results.append(
+                {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            )
+    return results
 
 
 @dataclass
@@ -141,6 +273,8 @@ class SweepError(RuntimeError):
         lines = "; ".join(
             f"{o.spec.describe()}: {o.error}" for o in failed[:5]
         )
+        if len(failed) > 5:
+            lines += f" (and {len(failed) - 5} more)"
         super().__init__(f"{len(failed)} sweep job(s) failed: {lines}")
 
 
@@ -148,7 +282,15 @@ ProgressFn = Callable[[JobOutcome, int, int], None]
 
 
 class SweepRunner:
-    """Run :class:`JobSpec` batches with caching, retries and telemetry."""
+    """Run :class:`JobSpec` batches with caching, retries and telemetry.
+
+    The runner owns a warm worker pool: created lazily on the first
+    parallel round, reused across retry rounds and subsequent ``run()``
+    calls, torn down by :meth:`close` (or the context-manager exit).
+    ``batch`` controls how many specs ride one future — ``None`` picks a
+    chunk size adaptive to ``len(pending) / workers``, ``1`` submits
+    per-job (the pre-batching wire format).
+    """
 
     def __init__(
         self,
@@ -160,6 +302,7 @@ class SweepRunner:
         worker: Callable[[Dict[str, Any]], Dict[str, Any]] = simulate_job,
         use_cache: bool = True,
         progress: Optional[ProgressFn] = None,
+        batch: Optional[int] = None,
     ) -> None:
         self.cache = cache
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
@@ -169,6 +312,62 @@ class SweepRunner:
         self.worker = worker
         self.use_cache = use_cache
         self.progress = progress
+        self.batch = default_batch() if batch is None else max(1, int(batch))
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers = 0
+        #: pools built over this runner's lifetime — the warm-pool tests
+        #: (and curious operators) read this; steady state is 1.
+        self.pools_created = 0
+
+    # -- pool lifecycle ---------------------------------------------------
+
+    def _ensure_pool(self, workers: int) -> ProcessPoolExecutor:
+        """The warm pool, (re)built only when absent or too small."""
+        if self._pool is not None and self._pool_workers < workers:
+            self._close_pool(wait=True)
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=pool_context(),
+                initializer=_worker_init,
+            )
+            self._pool_workers = workers
+            self.pools_created += 1
+        return self._pool
+
+    def _close_pool(self, wait: bool = True, cancel: bool = False) -> None:
+        if self._pool is None:
+            return
+        pool, self._pool, self._pool_workers = self._pool, None, 0
+        pool.shutdown(wait=wait, cancel_futures=cancel)
+
+    def warm(self, workers: Optional[int] = None) -> None:
+        """Spin the pool up ahead of time (best-effort readiness barrier).
+
+        Long campaigns and benchmarks call this so worker start-up and
+        the initializer's simulator pre-import happen before the first
+        (timed) job.  Each barrier task sleeps briefly, which pushes the
+        queue across all workers instead of letting the first-started
+        worker drain it alone.
+        """
+        workers = self.jobs if workers is None else max(1, int(workers))
+        if workers <= 1:
+            return
+        pool = self._ensure_pool(workers)
+        for fut in [
+            pool.submit(_worker_ready, 0.02) for _ in range(workers)
+        ]:
+            fut.result()
+
+    def close(self) -> None:
+        """Shut the warm pool down (idempotent)."""
+        self._close_pool(wait=True)
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- public API -------------------------------------------------------
 
@@ -201,8 +400,12 @@ class SweepRunner:
         for round_no in range(1 + self.max_retries):
             if not pending:
                 break
-            if round_no:
-                time.sleep(self._backoff(round_no))
+            if round_no >= 2:
+                # round 1's pending came fresh from round 0, so the first
+                # retry runs immediately — instant deterministic failures
+                # should not serialise behind a sleep.  Only failures that
+                # survived a retry round (carried over again) back off.
+                time.sleep(self._backoff(round_no - 1))
             if self.jobs == 1 or len(pending) == 1:
                 failures = self._run_inline(pending, lambda: done, total)
             else:
@@ -219,6 +422,12 @@ class SweepRunner:
         return min(
             self.backoff_cap_s, self.backoff_base_s * (2 ** (round_no - 1))
         )
+
+    def _chunk_size(self, n_pending: int, workers: int) -> int:
+        if self.batch is not None:
+            return self.batch
+        target = -(-n_pending // (workers * CHUNKS_PER_WORKER))
+        return max(1, min(MAX_ADAPTIVE_BATCH, target))
 
     def _report(self, outcome: JobOutcome, done: int, total: int) -> None:
         if self.progress is not None:
@@ -262,33 +471,56 @@ class SweepRunner:
     ) -> List[JobOutcome]:
         failures: List[JobOutcome] = []
         completed = 0
-        workers = min(self.jobs, len(pending))
-        executor = ProcessPoolExecutor(max_workers=workers)
+        pool = self._ensure_pool(min(self.jobs, len(pending)))
+        chunk_size = self._chunk_size(len(pending), self._pool_workers)
+        pool_broken = False
         try:
-            futures = {}
-            for out in pending:
-                out.attempts += 1
-                futures[executor.submit(self.worker, out.spec.to_dict())] = out
+            futures: Dict[Any, List[JobOutcome]] = {}
+            for i in range(0, len(pending), chunk_size):
+                chunk = pending[i:i + chunk_size]
+                for out in chunk:
+                    out.attempts += 1
+                futures[
+                    pool.submit(
+                        run_job_batch,
+                        self.worker,
+                        [o.spec.to_dict() for o in chunk],
+                    )
+                ] = chunk
             waiting = set(futures)
             while waiting:
                 finished, waiting = wait(waiting, return_when=FIRST_COMPLETED)
                 for fut in finished:
-                    out = futures[fut]
+                    chunk = futures[fut]
                     try:
-                        payload = fut.result()
+                        results = fut.result()
                     except Exception as exc:  # noqa: BLE001 - retried
-                        out.error = f"{type(exc).__name__}: {exc}"
-                        failures.append(out)
+                        # the chunk died with its worker (crash, lost
+                        # pickle, broken pool): every job in it retries
+                        error = f"{type(exc).__name__}: {exc}"
+                        for out in chunk:
+                            out.error = error
+                            failures.append(out)
+                        if isinstance(exc, BrokenProcessPool):
+                            pool_broken = True
                         continue
-                    self._complete(out, payload)
-                    completed += 1
-                    self._report(out, done_base() + completed, total)
+                    for out, res in zip(chunk, results):
+                        if res.get("ok"):
+                            self._complete(out, res["payload"])
+                            completed += 1
+                            self._report(out, done_base() + completed, total)
+                        else:
+                            out.error = res.get("error", "worker error")
+                            failures.append(out)
         except BaseException:
             # interrupt or pool breakage: everything persisted so far is
             # on disk; drop in-flight work and surface the exception
-            executor.shutdown(wait=False, cancel_futures=True)
+            self._close_pool(wait=False, cancel=True)
             raise
-        executor.shutdown(wait=True)
+        if pool_broken:
+            # a dead worker poisons the whole executor — rebuild so the
+            # retry round (if any) starts from a healthy pool
+            self._close_pool(wait=False, cancel=True)
         return failures
 
 
@@ -299,27 +531,30 @@ def run_sweep(
     use_cache: bool = True,
     max_retries: int = 2,
     progress: Optional[ProgressFn] = None,
+    batch: Optional[int] = None,
 ) -> Dict[str, SimulationResult]:
     """Run a batch of specs and return ``{key: SimulationResult}``.
 
     ``cache="auto"`` (the default) persists to disk only when
     ``REPRO_SWEEP_CACHE`` is set, keeping plain library calls hermetic;
     pass a directory (or :class:`ResultCache`) to force persistence, or
-    ``None`` to disable it.  Raises :class:`SweepError` if any job still
-    fails after retries.
+    ``None`` to disable it.  ``batch`` sets the jobs-per-future chunk
+    size (default: adaptive, see :class:`SweepRunner`).  Raises
+    :class:`SweepError` if any job still fails after retries.
     """
     if cache == "auto":
         cache = ResultCache() if os.environ.get(ENV_CACHE_DIR) else None
     elif cache is not None and not isinstance(cache, ResultCache):
         cache = ResultCache(cache)
-    runner = SweepRunner(
+    with SweepRunner(
         cache=cache,
         jobs=jobs,
         max_retries=max_retries,
         use_cache=use_cache,
         progress=progress,
-    )
-    outcomes = runner.run(specs)
+        batch=batch,
+    ) as runner:
+        outcomes = runner.run(specs)
     failed = [o for o in outcomes.values() if o.status == "failed"]
     if failed:
         raise SweepError(failed)

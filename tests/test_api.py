@@ -13,12 +13,16 @@ import repro.api as api
 from repro.sim.metrics import SimulationResult
 
 #: the frozen public surface — editing this list IS the API review.
+#: run_sweep/JobSpec added with the warm-pool + batching runner so
+#: campaign callers get the batch knob without importing repro.sweep.
 EXPECTED_API = [
     "FaultPlan",
+    "JobSpec",
     "SimulationResult",
     "build_system",
     "chaos_plan",
     "run_simulation",
+    "run_sweep",
     "simulate",
 ]
 
@@ -66,6 +70,13 @@ class TestApiSurface:
         assert res.gpu_ipc > 0
         assert res.cpu_latency_avg > 0
 
+    def test_run_sweep_via_api(self):
+        spec = api.JobSpec.make(
+            small_config(), "BP", "canneal", cycles=200, warmup=120
+        )
+        out = api.run_sweep([spec], jobs=1, cache=None, batch=1)
+        assert isinstance(out[spec.key()], SimulationResult)
+
     def test_simulate_accepts_fault_plan(self):
         plan = api.chaos_plan(small_config(), 0.1, seed=1,
                               warmup=150, cycles=400)
@@ -110,6 +121,7 @@ class TestCliConventions:
         import argparse
 
         from repro.cli import (
+            add_batch_option,
             add_jobs_option,
             add_out_option,
             add_seed_option,
@@ -119,11 +131,13 @@ class TestCliConventions:
         p = argparse.ArgumentParser()
         add_window_options(p, cycles=10, warmup=5)
         add_jobs_option(p)
+        add_batch_option(p)
         add_out_option(p, default="x.json")
         add_seed_option(p)
         args = p.parse_args([])
         assert (args.cycles, args.warmup, args.out) == (10, 5, "x.json")
         assert args.jobs is None and args.seed is None
+        assert args.batch is None
 
     def test_deprecated_alias_warns_and_maps(self, capsys):
         import argparse

@@ -1,26 +1,36 @@
 """Tests for the ``repro.sweep`` subsystem.
 
 Covers spec hashing, the on-disk result cache, the runner's retry and
-resume behaviour, and the determinism contract: a parallel sweep must
-produce byte-identical ``SimulationResult`` payloads to the one-worker
-path and to the pre-refactor sequential ``run_simulation`` loop.
+resume behaviour, the warm-pool/batching executor (pool reuse across
+retry rounds, chunked submission, crash recovery, kill-mid-batch
+resume), and the determinism contract: a parallel sweep must produce
+byte-identical ``SimulationResult`` payloads to the one-worker path and
+to the pre-refactor sequential ``run_simulation`` loop.
 """
 
 import json
+import os
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.config import baseline_config, delegated_replies_config
 from repro.sim.simulator import run_simulation
 from repro.sweep import (
+    JobOutcome,
     JobSpec,
     ResultCache,
     SweepError,
     SweepRunner,
     dedupe,
+    default_batch,
+    default_jobs,
     mechanism_jobs,
+    run_job_batch,
     run_sweep,
 )
+from repro.sweep.runner import stall_shares
 
 TINY = dict(cycles=200, warmup=120)
 
@@ -115,6 +125,55 @@ def _ok_payload(spec_dict):
     spec = JobSpec.from_dict(spec_dict)
     result = SimulationResult(cycles=spec.cycles, counters={"gpu.insts": 7.0})
     return {"result": result.to_dict(), "wall_time_s": 0.01}
+
+
+# -- module-level workers for real-pool tests (must pickle by reference) --
+
+#: directory the cross-process first-attempt flags live in
+_FLAG_ENV = "REPRO_TEST_SWEEP_FLAGDIR"
+
+
+def _attempt_flag(spec_dict) -> Path:
+    spec = JobSpec.from_dict(spec_dict)
+    return Path(os.environ[_FLAG_ENV]) / spec.key()
+
+
+def _flaky_worker(spec_dict):
+    """Fail each job's first attempt (flagged on disk), then succeed."""
+    flag = _attempt_flag(spec_dict)
+    if not flag.exists():
+        flag.write_text("seen")
+        raise RuntimeError("transient first-attempt failure")
+    return _ok_payload(spec_dict)
+
+
+def _crash_g0_once_worker(spec_dict):
+    """Kill the worker process on job g0's first attempt; others dawdle.
+
+    The dawdling keeps every other job in flight when g0 takes its
+    worker down, so the whole round fails with ``BrokenProcessPool``
+    and the retry round must rebuild the pool.
+    """
+    spec = JobSpec.from_dict(spec_dict)
+    if spec.gpu == "g0":
+        flag = _attempt_flag(spec_dict)
+        if not flag.exists():
+            flag.write_text("seen")
+            os._exit(1)
+    else:
+        time.sleep(0.05)
+    return _ok_payload(spec_dict)
+
+
+def _slow_ok_worker(spec_dict):
+    time.sleep(0.03)
+    return _ok_payload(spec_dict)
+
+
+def _sc_fails_worker(spec_dict):
+    if JobSpec.from_dict(spec_dict).gpu == "SC":
+        raise RuntimeError("boom")
+    return _ok_payload(spec_dict)
 
 
 class TestRunner:
@@ -218,7 +277,7 @@ class TestRunner:
 
 
 class TestDeterminism:
-    """Satellite: --jobs 4 == --jobs 1 == the pre-refactor sequential path."""
+    """--jobs 4 == --jobs 1 == the pre-refactor sequential path."""
 
     def test_parallel_serial_and_legacy_paths_bit_identical(self):
         specs = mechanism_jobs(["HS"], n_mixes=1, **TINY)
@@ -232,7 +291,8 @@ class TestDeterminism:
             for spec in specs
         }
         serial = run_sweep(specs, jobs=1, cache=None)
-        parallel = run_sweep(specs, jobs=4, cache=None)
+        # jobs=4 with an explicit batch exercises the chunked pool path
+        parallel = run_sweep(specs, jobs=4, cache=None, batch=2)
 
         for spec in specs:
             k = spec.key()
@@ -241,3 +301,222 @@ class TestDeterminism:
                 == result_bytes(parallel[k])
                 == result_bytes(legacy[k])
             ), f"results diverge for {spec.describe()}"
+
+
+class TestEnvKnobs:
+    """REPRO_SWEEP_JOBS / REPRO_SWEEP_BATCH parsing, incl. garbage values."""
+
+    def test_default_jobs_garbage_warns_and_falls_back(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_SWEEP_JOBS", "two")
+        assert default_jobs() == 1
+        assert "REPRO_SWEEP_JOBS" in capsys.readouterr().err
+
+        monkeypatch.setenv("REPRO_SWEEP_JOBS", "")
+        assert default_jobs() == 1
+        assert "REPRO_SWEEP_JOBS" in capsys.readouterr().err
+
+        # a garbage value must not crash runner construction either
+        runner = SweepRunner(jobs=None)
+        assert runner.jobs == 1
+
+    def test_default_jobs_valid_values(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_JOBS", raising=False)
+        assert default_jobs() == 1
+        monkeypatch.setenv("REPRO_SWEEP_JOBS", "3")
+        assert default_jobs() == 3
+        monkeypatch.setenv("REPRO_SWEEP_JOBS", "0")
+        assert default_jobs() == 1  # clamped
+
+    def test_default_batch(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_SWEEP_BATCH", raising=False)
+        assert default_batch() is None  # adaptive
+        monkeypatch.setenv("REPRO_SWEEP_BATCH", "8")
+        assert default_batch() == 8
+        monkeypatch.setenv("REPRO_SWEEP_BATCH", "garbage")
+        assert default_batch() is None
+        assert "REPRO_SWEEP_BATCH" in capsys.readouterr().err
+
+
+class TestStallShares:
+    """Largest-remainder apportionment: every group sums to exactly 1.0."""
+
+    def test_three_way_split_sums_to_one(self):
+        shares = stall_shares({"CPU": {"a": 1, "b": 1, "c": 1}})
+        # independent round() gave 3 x 0.3333 = 0.9999; the leftover
+        # unit goes to the largest remainder (name-ordered tie-break)
+        assert shares["CPU"] == {"a": 0.3334, "b": 0.3333, "c": 0.3333}
+        assert round(sum(shares["CPU"].values()), 10) == 1.0
+
+    def test_many_way_splits_sum_to_one(self):
+        for n_classes in (2, 3, 6, 7, 9, 13):
+            breakdown = {"g": {f"c{i}": i + 1 for i in range(n_classes)}}
+            shares = stall_shares(breakdown)["g"]
+            assert round(sum(shares.values()), 10) == 1.0, shares
+            for v in shares.values():
+                assert v == round(v, 4)
+
+    def test_exact_splits_unchanged(self):
+        shares = stall_shares({
+            "CPU": {"credit": 30, "eject": 10},
+            "mem": {"reply_buffer": 7},
+        })
+        assert shares["CPU"] == {"credit": 0.75, "eject": 0.25}
+        assert shares["mem"] == {"reply_buffer": 1.0}
+
+
+class TestSweepError:
+    def test_truncation_reports_overflow_count(self):
+        outs = [
+            JobOutcome(spec=tiny_spec(gpu=f"g{i}"), key=str(i), error="boom")
+            for i in range(8)
+        ]
+        msg = str(SweepError(outs))
+        assert "8 sweep job(s) failed" in msg
+        assert "(and 3 more)" in msg
+
+    def test_no_overflow_marker_at_five_or_fewer(self):
+        outs = [
+            JobOutcome(spec=tiny_spec(gpu=f"g{i}"), key=str(i), error="boom")
+            for i in range(5)
+        ]
+        assert "more)" not in str(SweepError(outs))
+
+
+class TestRetryBackoff:
+    def test_first_retry_is_immediate_later_retries_back_off(
+        self, monkeypatch
+    ):
+        sleeps = []
+        monkeypatch.setattr(
+            "repro.sweep.runner.time.sleep", lambda s: sleeps.append(s)
+        )
+
+        def always_fails(spec_dict):
+            raise RuntimeError("deterministic")
+
+        runner = SweepRunner(
+            jobs=1, max_retries=3, backoff_base_s=0.25, worker=always_fails
+        )
+        out = runner.run([tiny_spec()])[tiny_spec().key()]
+        assert out.status == "failed" and out.attempts == 4
+        # rounds 0 and 1 run back to back; only carried-over failures
+        # (rounds 2 and 3) wait out the capped exponential backoff
+        assert sleeps == [0.25, 0.5]
+
+
+class TestWarmPoolAndBatching:
+    """Pool lifecycle and chunked submission over real worker processes."""
+
+    @pytest.fixture
+    def flag_dir(self, tmp_path, monkeypatch):
+        d = tmp_path / "flags"
+        d.mkdir()
+        monkeypatch.setenv(_FLAG_ENV, str(d))
+        return d
+
+    def test_adaptive_chunk_size(self):
+        runner = SweepRunner(jobs=4)
+        assert runner._chunk_size(1, 4) == 1
+        assert runner._chunk_size(16, 4) == 1
+        assert runner._chunk_size(64, 4) == 4
+        assert runner._chunk_size(100_000, 4) == 32  # capped
+        assert SweepRunner(jobs=4, batch=7)._chunk_size(100_000, 4) == 7
+
+    def test_run_job_batch_isolates_per_job_errors(self):
+        dicts = [tiny_spec().to_dict(), tiny_spec(gpu="SC").to_dict()]
+        res = run_job_batch(_sc_fails_worker, dicts)
+        assert res[0]["ok"] is True
+        assert res[1]["ok"] is False and "boom" in res[1]["error"]
+
+    def test_warm_pool_reused_across_retry_rounds(self, flag_dir):
+        specs = [tiny_spec(gpu=f"g{i}") for i in range(4)]
+        # a 30s backoff base doubles as the immediate-first-retry check:
+        # the run can only finish quickly if round 1 skips the sleep
+        runner = SweepRunner(
+            jobs=2, max_retries=1, backoff_base_s=30.0, worker=_flaky_worker
+        )
+        t0 = time.perf_counter()
+        outcomes = runner.run(specs)
+        wall = time.perf_counter() - t0
+        runner.close()
+        assert all(
+            o.status == "ok" and o.attempts == 2 for o in outcomes.values()
+        )
+        assert runner.pools_created == 1, "retry round rebuilt the pool"
+        assert wall < 20, "first retry should not sleep the 30s backoff"
+
+    def test_batched_chunk_failures_stay_per_job(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        good = [tiny_spec(gpu=g) for g in ("HS", "BP", "3DCON")]
+        bad = tiny_spec(gpu="SC")
+        runner = SweepRunner(
+            cache=cache, jobs=2, batch=4, max_retries=0,
+            worker=_sc_fails_worker,
+        )
+        outcomes = runner.run(good + [bad])
+        runner.close()
+        for spec in good:
+            assert outcomes[spec.key()].status == "ok"
+            assert cache.contains(spec.key())
+        assert outcomes[bad.key()].status == "failed"
+        assert "boom" in outcomes[bad.key()].error
+
+    def test_worker_crash_fails_round_and_rebuilds_pool(self, flag_dir):
+        specs = [tiny_spec(gpu=f"g{i}") for i in range(4)]
+        runner = SweepRunner(
+            jobs=2, max_retries=1, backoff_base_s=0.0,
+            worker=_crash_g0_once_worker,
+        )
+        outcomes = runner.run(specs)
+        runner.close()
+        assert all(o.status == "ok" for o in outcomes.values())
+        g0 = next(o for o in outcomes.values() if o.spec.gpu == "g0")
+        assert g0.attempts == 2
+        assert runner.pools_created == 2, "broken pool was not rebuilt"
+
+    def test_kill_mid_batch_resume_recovers_cached_jobs(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = [tiny_spec(gpu=f"g{i}") for i in range(6)]
+        reported = []
+
+        def interrupt_after_two(outcome, done, total):
+            reported.append(outcome)
+            if len(reported) == 2:
+                raise KeyboardInterrupt
+
+        runner = SweepRunner(
+            cache=cache, jobs=2, batch=1, max_retries=0,
+            worker=_slow_ok_worker, progress=interrupt_after_two,
+        )
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(specs)
+        # every job persisted before the interrupt must be recoverable
+        assert len(reported) == 2
+        for out in reported:
+            assert cache.contains(out.key)
+
+        resumed_runner = SweepRunner(
+            cache=cache, jobs=2, batch=2, worker=_slow_ok_worker
+        )
+        resumed = resumed_runner.run(specs)
+        resumed_runner.close()
+        statuses = [o.status for o in resumed.values()]
+        assert set(statuses) <= {"ok", "cached"}
+        assert statuses.count("cached") >= 2
+
+    def test_pool_survives_across_run_calls(self, tmp_path):
+        runner = SweepRunner(jobs=2, worker=_slow_ok_worker)
+        first = runner.run([tiny_spec(gpu=f"a{i}") for i in range(3)])
+        second = runner.run([tiny_spec(gpu=f"b{i}") for i in range(3)])
+        runner.close()
+        assert all(o.status == "ok" for o in first.values())
+        assert all(o.status == "ok" for o in second.values())
+        assert runner.pools_created == 1
+
+    def test_context_manager_closes_pool(self):
+        with SweepRunner(jobs=2, worker=_slow_ok_worker) as runner:
+            runner.warm()
+            assert runner._pool is not None
+        assert runner._pool is None

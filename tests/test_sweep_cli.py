@@ -46,6 +46,29 @@ class TestRun:
         out = capsys.readouterr().out
         assert "1 simulated, 0 from cache" in out
 
+    def test_batch_flag_runs_pooled_and_lands_in_manifest(
+        self, cache_dir, tmp_path, capsys
+    ):
+        manifest = tmp_path / "manifest.json"
+        rc = run_cli("run", "--benchmarks", "HS,SC",
+                     "--mechanisms", "baseline",
+                     "--cycles", "150", "--warmup", "100",
+                     "--jobs", "2", "--batch", "2",
+                     "--cache-dir", cache_dir, "--out", str(manifest))
+        assert rc == 0
+        data = json.loads(manifest.read_text())
+        assert data["workers"] == 2
+        assert data["batch"] == 2
+        assert data["totals"] == {"ok": 2, "cached": 0, "failed": 0}
+
+    def test_default_batch_recorded_as_adaptive(self, cache_dir, tmp_path,
+                                                capsys):
+        manifest = tmp_path / "manifest.json"
+        rc = run_cli("run", *SWEEP, "--cache-dir", cache_dir,
+                     "--out", str(manifest))
+        assert rc == 0
+        assert json.loads(manifest.read_text())["batch"] == "adaptive"
+
 
 class TestIntrospection:
     def test_list_shows_cache_state(self, cache_dir, capsys):
