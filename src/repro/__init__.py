@@ -38,6 +38,7 @@ __all__ = [
     "Topology",
     "baseline_config",
     "delegated_replies_config",
+    "predict",
     "realistic_probing_config",
     "run_simulation",
     "simulate",
@@ -63,3 +64,13 @@ def simulate(*args, **kwargs):
     from repro.api import simulate as _simulate
 
     return _simulate(*args, **kwargs)
+
+
+def predict(*args, **kwargs):
+    """Convenience wrapper around :func:`repro.api.predict`.
+
+    Imported lazily so ``import repro`` stays cheap.
+    """
+    from repro.api import predict as _predict
+
+    return _predict(*args, **kwargs)

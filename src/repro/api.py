@@ -16,7 +16,12 @@ config and workload is keyword-only so call sites stay readable and
 new options never break positional callers.  For batches,
 :func:`run_sweep` plus :class:`JobSpec` is the campaign entry point —
 warm worker pools (``jobs``), chunked submission (``batch``), on-disk
-result caching and retries, see :mod:`repro.sweep`.  The lower-level
+result caching and retries, see :mod:`repro.sweep`.  :func:`predict` is
+the millisecond analytical counterpart of :func:`simulate`: same
+(config, workload, co-runner) signature, a
+:class:`~repro.model.Prediction` instead of a
+:class:`SimulationResult` — use it for what-if scans and to pre-screen
+sweeps (``repro.sweep run --screen surrogate``).  The lower-level
 :func:`run_simulation` / :func:`build_system` pair is re-exported for
 callers that need to drive a :class:`HeterogeneousSystem` cycle by
 cycle (telemetry tooling, the fault-injection harness).
@@ -49,10 +54,35 @@ __all__ = [
     "SimulationResult",
     "build_system",
     "chaos_plan",
+    "predict",
     "run_simulation",
     "run_sweep",
     "simulate",
 ]
+
+
+def predict(
+    cfg: SystemConfig,
+    workload: str,
+    *,
+    cpu: Optional[str] = None,
+):
+    """Analytical surrogate estimate of :func:`simulate`'s metrics.
+
+    Runs the queueing-theoretic model in :mod:`repro.model` — per-link
+    offered loads from the routing tables, M/G/1 priority waits, and a
+    closed-loop saturation fixed point — and returns a
+    :class:`~repro.model.Prediction` in a few milliseconds.  Field
+    names mirror :class:`SimulationResult` where the two overlap
+    (``cpu_latency_avg``, ``gpu_ipc``, ``mem_blocking_rate``, ...), and
+    the prediction adds ``demand_rho``/``saturated``/``bottleneck`` for
+    clogging assessment.  Validated accuracy against the simulator is
+    tracked by ``python -m repro.model validate`` and the
+    ``surrogate_accuracy`` entry of ``BENCH_noc.json``.
+    """
+    from repro.model.compose import predict as _model_predict
+
+    return _model_predict(cfg, workload, cpu)
 
 
 def simulate(

@@ -32,6 +32,7 @@ import sys
 from repro.bench.harness import (
     BENCH_CONFIGS,
     run_bench,
+    run_surrogate_accuracy,
     run_sweep_throughput,
     run_telemetry_overhead,
 )
@@ -41,6 +42,8 @@ from repro.cli import add_cycles_option, add_jobs_option, add_out_option
 SWEEP_BENCH = "sweep_throughput"
 #: pseudo-config measuring enabled-telemetry cost on mesh8x8_dr
 TELEMETRY_BENCH = "telemetry_overhead"
+#: pseudo-config measuring repro.model accuracy/speed vs the simulator
+MODEL_BENCH = "surrogate_accuracy"
 
 
 def main(argv=None) -> int:
@@ -53,7 +56,8 @@ def main(argv=None) -> int:
                         help="quarter-length run (CI smoke budget)")
     parser.add_argument("--configs", nargs="+", default=None,
                         choices=sorted(
-                            [*BENCH_CONFIGS, SWEEP_BENCH, TELEMETRY_BENCH]
+                            [*BENCH_CONFIGS, SWEEP_BENCH, TELEMETRY_BENCH,
+                             MODEL_BENCH]
                         ),
                         help="subset of configs to run")
     parser.add_argument("--reference", action="store_true",
@@ -64,9 +68,26 @@ def main(argv=None) -> int:
                    help="output JSON path")
     args = parser.parse_args(argv)
 
-    names = args.configs or [*BENCH_CONFIGS, SWEEP_BENCH, TELEMETRY_BENCH]
+    names = args.configs or [
+        *BENCH_CONFIGS, SWEEP_BENCH, TELEMETRY_BENCH, MODEL_BENCH
+    ]
     results = {}
     for name in names:
+        if name == MODEL_BENCH:
+            res = run_surrogate_accuracy(
+                grid="mesh4x4" if args.quick else "fig11",
+                jobs=args.jobs,
+                cycles=args.cycles,
+            )
+            results[name] = res.as_dict()
+            print(
+                f"{name:>12}: {res.extra['grid']} median err "
+                f"{res.extra['median_rel_err']:.1%}, spearman "
+                f"{res.extra['spearman']:.3f}, "
+                f"{res.extra['predict_ms_per_point']:.1f} ms/pt "
+                f"({res.extra['speedup']:.0f}x vs simulator)"
+            )
+            continue
         if name == TELEMETRY_BENCH:
             res = run_telemetry_overhead(
                 cycles=args.cycles or (1000 if args.quick else 4000)

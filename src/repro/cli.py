@@ -10,6 +10,7 @@ through these helpers:
 ``--batch N``    sweep jobs per worker task (chunked submission)
 ``--out PATH``   primary output file
 ``--seed N``     override the config's RNG seed
+``--format F``   human table vs machine JSON on stdout
 
 Renamed or historical spellings stay functional via
 :func:`add_deprecated_alias`, which maps the old flag onto the canonical
@@ -19,8 +20,11 @@ destination with a one-line ``stderr`` warning per use.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Optional
+from typing import Any, Callable, Optional, Union
+
+OUTPUT_FORMATS = ("table", "json")
 
 
 def add_cycles_option(
@@ -85,6 +89,35 @@ def add_seed_option(
     help: str = "override the system config's RNG seed",
 ) -> None:
     parser.add_argument("--seed", type=int, default=default, help=help)
+
+
+def add_format_option(
+    parser: argparse.ArgumentParser,
+    default: str = "table",
+    help: str = "stdout format: human-readable table or machine JSON "
+    "(default: %(default)s)",
+) -> None:
+    parser.add_argument(
+        "--format", choices=OUTPUT_FORMATS, default=default, help=help
+    )
+
+
+def emit(
+    fmt: str,
+    payload: Any,
+    render: Union[str, Callable[[], str]],
+) -> None:
+    """Print one command result honouring the ``--format`` choice.
+
+    ``payload`` is the machine answer (anything ``json.dumps`` accepts);
+    ``render`` is the human one — either the table string itself or a
+    zero-argument callable producing it, so table formatting is only
+    paid when the table was asked for.
+    """
+    if fmt == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render() if callable(render) else render)
 
 
 def add_deprecated_alias(

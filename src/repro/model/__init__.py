@@ -1,0 +1,37 @@
+"""Analytical surrogate performance model (millisecond what-if path).
+
+``repro.model`` answers the questions the simulator answers — per-class
+latency, throughput, where the network clogs — in milliseconds instead
+of minutes, using per-link offered loads derived from the routing
+tables, M/G/1 priority queueing per link, and a closed-loop fixed point
+that captures the self-throttling saturated regime the paper studies.
+
+Entry points:
+
+- :func:`predict` — one point, one :class:`Prediction`.
+- :func:`repro.model.validate.validate` — surrogate vs simulator on the
+  fig05/fig11/fig16 grids (error + rank correlation report).
+- :func:`repro.model.saturation.keep_mask` — the screening policy behind
+  ``repro.sweep run --screen surrogate``.
+- ``python -m repro.model {predict,validate,screen}``.
+"""
+
+from repro.model.compose import Prediction, predict, predict_spec
+from repro.model.queueing import ClassLoad, p95_of_mean, priority_waits
+from repro.model.saturation import SaturationReport, assess, keep_mask
+from repro.model.validate import ValidationReport, spearman, validate
+
+__all__ = [
+    "ClassLoad",
+    "Prediction",
+    "SaturationReport",
+    "ValidationReport",
+    "assess",
+    "keep_mask",
+    "p95_of_mean",
+    "predict",
+    "predict_spec",
+    "priority_waits",
+    "spearman",
+    "validate",
+]

@@ -1,0 +1,196 @@
+"""Per-link offered load derivation from routing tables and traffic split.
+
+The surrogate never simulates packets.  Instead it enumerates the
+*flow groups* a workload mix produces — CPU read requests to the memory
+nodes, GPU read/write requests, the reply streams back, and under
+Delegated Replies the delegated-request and core-to-core reply detours —
+and walks each (src, dst) pair's deterministic route through the
+topology exactly as the fabric's dimension-order tables would
+(:meth:`~repro.noc.topology.BaseTopology.route_next` with the class's
+configured order).  Each traversal deposits the group's packet size on
+every directed link of the path, including the single injection and
+ejection links every node owns — the paper's "one reply link per memory
+node" bottleneck falls out of this bookkeeping rather than being special
+cased.
+
+Routes depend only on the config, so a :class:`NetworkModel` is built
+once per prediction and each flow group is reduced to a sparse
+``link -> expected traversals`` vector.  The fixed-point iteration in
+:mod:`repro.model.compose` then rescales group rates dozens of times
+without ever walking a route again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.config.system import DimensionOrder, SystemConfig
+from repro.model.queueing import ClassLoad
+from repro.noc.packet import NetKind, TrafficClass
+from repro.noc.topology import BaseTopology, build_topology
+from repro.sim.layout import NodePlacement, build_layout
+
+#: directed-link key: ("link", net, a, b) for router a -> b,
+#: ("inj", net, node) / ("ej", net, node) for the endpoint links.
+LinkKey = Tuple
+
+
+@dataclass
+class FlowGroup:
+    """One homogeneous traffic stream (e.g. all GPU read requests).
+
+    ``rate`` is the total packets/cycle of the whole group; ``counts``
+    maps each directed link to the expected number of traversals by one
+    packet of the group (pair weights sum to one), so the link load the
+    group induces is ``rate * counts[link]``.
+    """
+
+    name: str
+    cls: TrafficClass
+    net: NetKind
+    flits: int
+    counts: Dict[LinkKey, float] = field(default_factory=dict)
+    mean_hops: float = 0.0
+    rate: float = 0.0
+
+
+class NetworkModel:
+    """Routes, link inventory and flow groups for one configuration."""
+
+    def __init__(self, cfg: SystemConfig) -> None:
+        self.cfg = cfg
+        self.noc = cfg.noc
+        self.topology: BaseTopology = build_topology(
+            cfg.noc.topology, cfg.mesh_width, cfg.mesh_height
+        )
+        self.placement: NodePlacement = build_layout(cfg)
+        self.bandwidth = max(1, round(cfg.noc.bandwidth_factor))
+        #: head-flit cycles spent per hop (router pipeline + link), the
+        #: same constant the router model is built with.
+        self.hop_cycles = (
+            cfg.noc.router_pipeline_cycles - 1 + cfg.noc.link_cycles
+        )
+        self._route_cache: Dict[Tuple[int, int, DimensionOrder], List[int]] = {}
+
+    # -- routing ----------------------------------------------------------
+
+    def _route(self, src: int, dst: int, order: DimensionOrder) -> List[int]:
+        """Router ids visited from ``src`` to ``dst`` inclusive."""
+        key = (src, dst, order)
+        path = self._route_cache.get(key)
+        if path is None:
+            path = [src]
+            cur = src
+            while cur != dst:
+                cur = self.topology.route_next(cur, dst, order)
+                path.append(cur)
+                if len(path) > self.topology.n + 1:  # pragma: no cover
+                    raise RuntimeError("routing loop in surrogate model")
+            self._route_cache[key] = path
+        return path
+
+    def _net_of(self, net: NetKind) -> int:
+        """Physical network index: shared-network configs collapse to 0."""
+        return int(net) if self.noc.separate_physical_networks else 0
+
+    def order_for(self, net: NetKind) -> DimensionOrder:
+        return (
+            self.noc.request_order
+            if net is NetKind.REQUEST
+            else self.noc.reply_order
+        )
+
+    # -- flow groups ------------------------------------------------------
+
+    def flow_group(
+        self,
+        name: str,
+        pairs: Sequence[Tuple[int, int, float]],
+        cls: TrafficClass,
+        net: NetKind,
+        flits: int,
+    ) -> FlowGroup:
+        """Build a flow group from weighted (src, dst, weight) pairs."""
+        group = FlowGroup(name=name, cls=cls, net=net, flits=flits)
+        order = self.order_for(net)
+        phys = self._net_of(net)
+        total_w = sum(w for _, _, w in pairs) or 1.0
+        counts = group.counts
+        hops = 0.0
+        for src, dst, w in pairs:
+            if src == dst or w <= 0.0:
+                continue
+            w /= total_w
+            path = self._route(src, dst, order)
+            counts[("inj", phys, src)] = counts.get(("inj", phys, src), 0.0) + w
+            for a, b in zip(path, path[1:]):
+                k = ("link", phys, a, b)
+                counts[k] = counts.get(k, 0.0) + w
+            counts[("ej", phys, dst)] = counts.get(("ej", phys, dst), 0.0) + w
+            hops += w * (len(path) - 1)
+        group.mean_hops = hops
+        return group
+
+    def uniform_pairs(
+        self, sources: Iterable[int], dests: Iterable[int]
+    ) -> List[Tuple[int, int, float]]:
+        """Every (src, dst) pair weighted uniformly (self-pairs skipped).
+
+        Uniform destinations model the :class:`~repro.mem.address.AddressMap`
+        hash spreading blocks evenly over the memory nodes, and delegation
+        pointers landing on an arbitrary sharer.
+        """
+        src_list, dst_list = list(sources), list(dests)
+        return [
+            (s, d, 1.0)
+            for s in src_list
+            for d in dst_list
+            if s != d
+        ]
+
+    # -- load accumulation ------------------------------------------------
+
+    def service_cycles(self, flits: int) -> float:
+        """Link occupancy of one worm: flits at ``bandwidth`` flits/cycle."""
+        return max(1.0, flits / self.bandwidth)
+
+    def accumulate(
+        self, groups: Sequence[FlowGroup]
+    ) -> Dict[LinkKey, List[ClassLoad]]:
+        """Per-link, per-class offered load for the groups' current rates."""
+        loads: Dict[LinkKey, List[ClassLoad]] = {}
+        for g in groups:
+            if g.rate <= 0.0:
+                continue
+            service = self.service_cycles(g.flits)
+            ci = int(g.cls)
+            for link, count in g.counts.items():
+                per_class = loads.get(link)
+                if per_class is None:
+                    per_class = [ClassLoad(), ClassLoad()]
+                    loads[link] = per_class
+                per_class[ci].add(g.rate * count, service)
+        return loads
+
+    def path_wait(
+        self,
+        group: FlowGroup,
+        waits: Dict[LinkKey, List[float]],
+        cap_per_link: float,
+    ) -> float:
+        """Expected queueing wait along the group's (weighted) route.
+
+        Each link's class wait is capped at ``cap_per_link``: the VC
+        buffers bounding a real queue keep the wait finite even where
+        the open M/G/1 formula diverges — excess backlog shows up as
+        endpoint throttling (handled by the closed-loop rate equations),
+        not as unbounded in-network waiting.
+        """
+        ci = int(group.cls)
+        total = 0.0
+        for link, count in group.counts.items():
+            w = waits.get(link)
+            if w is not None:
+                total += count * min(w[ci], cap_per_link)
+        return total

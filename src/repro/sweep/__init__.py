@@ -26,6 +26,7 @@ from repro.sweep.runner import (
     ENV_BATCH,
     ENV_JOBS,
     JobOutcome,
+    ScreenDecision,
     SweepError,
     SweepRunner,
     default_batch,
@@ -45,6 +46,7 @@ __all__ = [
     "JobOutcome",
     "JobSpec",
     "ResultCache",
+    "ScreenDecision",
     "SweepError",
     "SweepRunner",
     "code_salt",

@@ -14,6 +14,8 @@ Examples::
     python -m repro.sweep run --jobs 4                  # full Fig. 10 sweep
     python -m repro.sweep run --jobs 2 --benchmarks HS,SC --resume
     python -m repro.sweep run --jobs 4 --batch 8        # fixed 8-job chunks
+    python -m repro.sweep run --screen surrogate        # hybrid sweep: only
+                                                        # near/past-knee points
     python -m repro.sweep list --mechanisms baseline,dr
     python -m repro.sweep status
     python -m repro.sweep clean
@@ -39,9 +41,11 @@ from typing import List, Optional
 from repro.cli import (
     add_batch_option,
     add_deprecated_alias,
+    add_format_option,
     add_jobs_option,
     add_seed_option,
     add_window_options,
+    emit,
 )
 from repro.sweep.cache import ResultCache, default_cache_dir
 from repro.sweep.jobs import JobSpec, mechanism_jobs
@@ -187,6 +191,34 @@ def _cmd_status(args) -> int:
     cache = _cache_from_args(args)
     cached = sum(1 for s in specs if cache.contains(s.key()))
     total_entries = sum(1 for _ in cache.keys())
+    if getattr(args, "format", "table") == "json":
+        segment = _read_progress(_progress_log_path(args, cache))
+        jobs = [r for r in segment if r.get("rec") == "job"]
+        end = next(
+            (r for r in segment if r.get("rec") in ("end", "interrupted")),
+            None,
+        )
+        emit("json", {
+            "sweep": {
+                "total": len(specs),
+                "cached": cached,
+                "to_run": len(specs) - cached,
+            },
+            "cache": {
+                "dir": str(cache.root),
+                "entries": total_entries,
+                "size_bytes": cache.size_bytes(),
+            },
+            "last_run": {
+                "jobs_done": len(jobs),
+                "state": (
+                    "none" if not segment
+                    else "running" if end is None
+                    else end["rec"]
+                ),
+            },
+        }, "")
+        return 0
     print(f"sweep:   {cached}/{len(specs)} job(s) cached, "
           f"{len(specs) - cached} to run")
     print(f"cache:   {cache.root} — {total_entries} entr(ies), "
@@ -217,6 +249,7 @@ def _cmd_run(args) -> int:
     specs = _specs_from_args(args)
     cache = _cache_from_args(args)
     plog = ProgressLog(_progress_log_path(args, cache))
+    decision = None
 
     def progress(outcome: JobOutcome, done: int, total: int) -> None:
         mark = {"ok": "ok    ", "cached": "cached"}.get(
@@ -245,6 +278,12 @@ def _cmd_run(args) -> int:
         progress=progress,
         batch=args.batch,
     )
+    if getattr(args, "screen", None) == "surrogate":
+        decision = runner.screen(specs, band=args.screen_band)
+        print(f"screen:  surrogate kept {len(decision.kept)}/{len(specs)} "
+              f"job(s) (band {decision.band:g}); "
+              f"{len(decision.skipped)} screened out", flush=True)
+        specs = decision.kept
     plog.write({
         "rec": "start",
         "total": len(specs),
@@ -287,6 +326,14 @@ def _cmd_run(args) -> int:
                 "cache_dir": str(cache.root),
                 "jobs": [o.as_dict() for o in outcomes.values()],
             }
+            if decision is not None:
+                manifest["screen"] = {
+                    "mode": "surrogate",
+                    "band": decision.band,
+                    "kept": len(decision.kept),
+                    "screened_out": len(decision.skipped),
+                }
+                manifest["screened_out"] = decision.skipped_records()
             with open(args.out, "w") as fh:
                 json.dump(manifest, fh, indent=2)
                 fh.write("\n")
@@ -333,6 +380,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="ignore cached results and recompute everything")
     run_p.add_argument("--retries", type=int, default=2,
                        help="retry rounds for failed jobs (default 2)")
+    run_p.add_argument("--screen", choices=("surrogate",), default=None,
+                       help="hybrid sweep: simulate only the points the "
+                            "analytical surrogate puts near or past the "
+                            "saturation knee (plus one unclogged anchor)")
+    run_p.add_argument("--screen-band", type=float, default=0.35,
+                       help="screening guard band below the knee as a "
+                            "fraction of the saturation threshold "
+                            "(default 0.35)")
     run_p.add_argument("--out", default=None,
                        help="write a JSON run manifest to this path")
     add_deprecated_alias(run_p, "--manifest", "--out")
@@ -342,6 +397,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     status_p = sub.add_parser("status", help="cached/missing breakdown")
     _add_sweep_options(status_p)
+    add_format_option(status_p)
     status_p.add_argument("--progress-log", default=None,
                           help="progress log to summarise "
                                "(default: <cache-dir>/progress.jsonl)")

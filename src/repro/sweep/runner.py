@@ -265,6 +265,27 @@ class JobOutcome:
         return d
 
 
+@dataclass
+class ScreenDecision:
+    """Outcome of a surrogate screening pass over a sweep's specs."""
+
+    kept: List[JobSpec]
+    skipped: List[Any]  # (JobSpec, repro.model.Prediction) pairs
+    band: float
+
+    def skipped_records(self) -> List[Dict[str, Any]]:
+        """Manifest-ready records of the screened-out points."""
+        return [
+            {
+                "key": spec.key(),
+                "label": list(spec.label) or [spec.describe()],
+                "demand_rho": round(pred.demand_rho, 3),
+                "predicted_cpu_latency": round(pred.cpu_latency_avg, 1),
+            }
+            for spec, pred in self.skipped
+        ]
+
+
 class SweepError(RuntimeError):
     """Raised by :func:`run_sweep` when jobs exhaust their retries."""
 
@@ -415,6 +436,35 @@ class SweepRunner:
         for out in pending:
             out.status = "failed"
         return outcomes
+
+    def screen(
+        self, specs: Sequence[JobSpec], band: float = 0.35
+    ) -> "ScreenDecision":
+        """Partition specs with the analytical surrogate (hybrid sweep).
+
+        Runs :func:`repro.model.predict` over every spec (milliseconds
+        per point) and keeps only the points whose predicted demand
+        utilisation lands within ``band`` of the saturation knee — plus
+        the lowest-scoring point as an unclogged far-field anchor, see
+        :func:`repro.model.saturation.keep_mask`.  The caller then
+        passes ``decision.kept`` to :meth:`run`; skipped specs are
+        reported in ``decision.skipped`` so manifests can record what
+        the surrogate screened out.  Screening never touches the cache,
+        so the jobs that do run produce bit-identical results to an
+        unscreened sweep.
+        """
+        # imported lazily: repro.model sits on top of repro.sweep, so a
+        # module-level import here would be circular.
+        from repro.model.compose import predict
+        from repro.model.saturation import keep_mask
+
+        preds = [predict(s.system_config(), s.gpu, s.cpu) for s in specs]
+        mask = keep_mask(preds, band=band)
+        kept = [s for s, keep in zip(specs, mask) if keep]
+        skipped = [
+            (s, p) for s, p, keep in zip(specs, preds, mask) if not keep
+        ]
+        return ScreenDecision(kept=kept, skipped=skipped, band=band)
 
     # -- internals --------------------------------------------------------
 

@@ -21,6 +21,7 @@ EXPECTED_API = [
     "SimulationResult",
     "build_system",
     "chaos_plan",
+    "predict",
     "run_simulation",
     "run_sweep",
     "simulate",
