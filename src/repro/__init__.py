@@ -38,6 +38,7 @@ __all__ = [
     "Topology",
     "baseline_config",
     "delegated_replies_config",
+    "explore",
     "predict",
     "realistic_probing_config",
     "run_simulation",
@@ -74,3 +75,13 @@ def predict(*args, **kwargs):
     from repro.api import predict as _predict
 
     return _predict(*args, **kwargs)
+
+
+def explore(*args, **kwargs):
+    """Convenience wrapper around :func:`repro.api.explore`.
+
+    Imported lazily so ``import repro`` stays cheap.
+    """
+    from repro.api import explore as _explore
+
+    return _explore(*args, **kwargs)

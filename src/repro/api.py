@@ -38,6 +38,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.config.system import SystemConfig
+from repro.explore.pareto import ParetoFrontier
+from repro.explore.space import SearchSpace
 from repro.faults.plan import FaultPlan, chaos_plan
 from repro.sim.metrics import SimulationResult
 from repro.sim.simulator import (
@@ -51,14 +53,67 @@ from repro.sweep import JobSpec, run_sweep
 __all__ = [
     "FaultPlan",
     "JobSpec",
+    "ParetoFrontier",
+    "SearchSpace",
     "SimulationResult",
     "build_system",
     "chaos_plan",
+    "explore",
     "predict",
     "run_simulation",
     "run_sweep",
     "simulate",
 ]
+
+
+def explore(
+    space="mesh4x4",
+    *,
+    algo: str = "nsga2",
+    budget: int = 64,
+    population: int = 16,
+    seed: int = 0,
+    surrogate_only: bool = False,
+    sim_fraction: float = 0.2,
+    jobs: Optional[int] = None,
+    batch: Optional[int] = None,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
+    cache="auto",
+    progress=None,
+):
+    """Multi-objective design-space search over a :class:`SearchSpace`.
+
+    Runs a seeded NSGA-II (or uniform-random baseline) search that
+    optimises latency p95, throughput, and the ``repro.analysis``
+    area/energy models jointly.  Every candidate is scored by the
+    :func:`predict` surrogate; only frontier-band survivors (at most
+    ``sim_fraction`` of the evaluated designs, plus the mechanism
+    reference anchors) are promoted to cycle-level :func:`simulate`
+    ground truth via the sweep runner and its content-addressed cache.
+    ``space`` is a named demo space (``"mesh4x4"``, ``"mesh8x8"``,
+    ``"full"``) or a custom :class:`SearchSpace`.  Returns an
+    :class:`~repro.explore.ExploreOutcome` whose ``frontier`` is a
+    :class:`ParetoFrontier` and whose ``manifest()`` matches the JSON
+    artifact of ``python -m repro.explore run``.
+    """
+    from repro.explore.search import explore as _explore
+
+    return _explore(
+        space,
+        algo=algo,
+        budget=budget,
+        population=population,
+        seed=seed,
+        surrogate_only=surrogate_only,
+        sim_fraction=sim_fraction,
+        jobs=jobs,
+        batch=batch,
+        cycles=cycles,
+        warmup=warmup,
+        cache=cache,
+        progress=progress,
+    )
 
 
 def predict(

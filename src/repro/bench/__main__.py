@@ -32,6 +32,7 @@ import sys
 from repro.bench.harness import (
     BENCH_CONFIGS,
     run_bench,
+    run_explore_search,
     run_surrogate_accuracy,
     run_sweep_throughput,
     run_telemetry_overhead,
@@ -44,6 +45,8 @@ SWEEP_BENCH = "sweep_throughput"
 TELEMETRY_BENCH = "telemetry_overhead"
 #: pseudo-config measuring repro.model accuracy/speed vs the simulator
 MODEL_BENCH = "surrogate_accuracy"
+#: pseudo-config measuring the repro.explore surrogate-only search loop
+EXPLORE_BENCH = "explore_search"
 
 
 def main(argv=None) -> int:
@@ -57,7 +60,7 @@ def main(argv=None) -> int:
     parser.add_argument("--configs", nargs="+", default=None,
                         choices=sorted(
                             [*BENCH_CONFIGS, SWEEP_BENCH, TELEMETRY_BENCH,
-                             MODEL_BENCH]
+                             MODEL_BENCH, EXPLORE_BENCH]
                         ),
                         help="subset of configs to run")
     parser.add_argument("--reference", action="store_true",
@@ -69,10 +72,24 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     names = args.configs or [
-        *BENCH_CONFIGS, SWEEP_BENCH, TELEMETRY_BENCH, MODEL_BENCH
+        *BENCH_CONFIGS, SWEEP_BENCH, TELEMETRY_BENCH, MODEL_BENCH,
+        EXPLORE_BENCH,
     ]
     results = {}
     for name in names:
+        if name == EXPLORE_BENCH:
+            res = run_explore_search(
+                budget=16 if args.quick else 32,
+                population=8 if args.quick else 12,
+            )
+            results[name] = res.as_dict()
+            print(
+                f"{name:>12}: {res.extra['evals_per_sec']:.1f} evals/s "
+                f"(budget {res.extra['budget']}, frontier "
+                f"{res.extra['frontier_size']}, hv edge vs random "
+                f"{res.extra['hv_edge']:.2f}x)"
+            )
+            continue
         if name == MODEL_BENCH:
             res = run_surrogate_accuracy(
                 grid="mesh4x4" if args.quick else "fig11",

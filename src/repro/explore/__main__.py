@@ -1,0 +1,325 @@
+"""Command-line face of the explore subsystem.
+
+* ``run``      — execute one hybrid search and write a frontier manifest
+* ``frontier`` — inspect a manifest (table/JSON); ``--compare`` scores two
+  manifests' frontiers by hypervolume at a shared reference point
+* ``show``     — describe a named search space (knobs, objectives,
+  reference designs)
+
+Examples::
+
+    python -m repro.explore run --space mesh4x4 --budget 64 --seed 7 \\
+        --out frontier.json
+    python -m repro.explore run --space mesh4x4 --algo random \\
+        --surrogate-only --format json
+    python -m repro.explore frontier frontier.json
+    python -m repro.explore frontier nsga2.json --compare random.json
+    python -m repro.explore show --space mesh8x8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.report import format_table
+from repro.cli import (
+    add_batch_option,
+    add_format_option,
+    add_jobs_option,
+    add_out_option,
+    add_seed_option,
+    add_window_options,
+    emit,
+)
+from repro.explore.objectives import OBJECTIVE_NAMES, SENSES
+from repro.explore.pareto import default_reference, hypervolume
+from repro.explore.search import (
+    ALGORITHMS,
+    DEFAULT_BUDGET,
+    DEFAULT_POPULATION,
+    DEFAULT_SIM_FRACTION,
+    explore,
+)
+from repro.explore.space import SPACES, demo_space
+
+
+def _load_manifest(path: str) -> Dict[str, Any]:
+    with open(path) as fh:
+        data = json.load(fh)
+    if "frontier" not in data or "evaluations" not in data:
+        raise ValueError(f"{path}: not an explore manifest")
+    return data
+
+
+def _frontier_rows(
+    frontier: Dict[str, Any]
+) -> List[Tuple[str, Dict[str, float]]]:
+    rows = []
+    points = sorted(
+        frontier.get("points", []),
+        key=lambda p: (
+            p["objectives"].get("cpu_latency_p95", 0.0),
+            p["config_hash"],
+        ),
+    )
+    for p in points:
+        mech = p.get("values", {}).get("mechanism", p.get("mechanism", ""))
+        mark = "*" if p.get("source") == "simulated" else ""
+        rows.append(
+            (
+                f"{mech}/{p.get('gpu', '?')}/{p['config_hash'][:8]}{mark}",
+                dict(p["objectives"]),
+            )
+        )
+    return rows
+
+
+def _manifest_vectors(data: Dict[str, Any]) -> List[Tuple[float, ...]]:
+    """Surrogate objective vectors of every evaluation in a manifest."""
+    return [
+        tuple(float(r["objectives"][n]) for n in OBJECTIVE_NAMES)
+        for r in data.get("evaluations", [])
+    ]
+
+
+def _frontier_vectors(data: Dict[str, Any]) -> List[Tuple[float, ...]]:
+    return [
+        tuple(float(p["objectives"][n]) for n in OBJECTIVE_NAMES)
+        for p in data["frontier"].get("points", [])
+    ]
+
+
+# --- commands --------------------------------------------------------------
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    progress = (
+        (lambda msg: print(msg, file=sys.stderr))
+        if args.format == "table"
+        else None
+    )
+    outcome = explore(
+        args.space,
+        algo=args.algo,
+        budget=args.budget,
+        population=args.population,
+        seed=args.seed if args.seed is not None else 0,
+        surrogate_only=args.surrogate_only,
+        sim_fraction=args.sim_fraction,
+        jobs=args.jobs,
+        batch=args.batch,
+        cycles=args.cycles,
+        warmup=args.warmup,
+        cache=args.cache_dir if args.cache_dir else "auto",
+        progress=progress,
+    )
+    manifest = outcome.manifest()
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+        if progress:
+            progress(f"manifest written to {args.out}")
+
+    def render() -> str:
+        lines = [outcome.table()]
+        dom = outcome.dr_dominance
+        if dom is not None:
+            verdict = "holds" if dom["holds"] else "does NOT hold"
+            lines.append(
+                f"DR-dominates-baseline ({', '.join(dom['objectives'])}, "
+                f"{dom['tier']}, gpu {dom['gpu']}): {verdict} "
+                f"({len(dom['dominating'])} dominating design(s))"
+            )
+        return "\n".join(lines)
+
+    emit(args.format, manifest, render)
+    return 0 if len(outcome.frontier) else 1
+
+
+def cmd_frontier(args: argparse.Namespace) -> int:
+    data = _load_manifest(args.manifest)
+    meta = data.get("explore", {})
+    payload: Dict[str, Any] = {
+        "manifest": args.manifest,
+        "explore": meta,
+        "counts": data.get("counts", {}),
+        "hypervolume": data.get("hypervolume"),
+        "dr_dominance": data.get("dr_dominance"),
+        "frontier": data["frontier"],
+    }
+    compare: Optional[Dict[str, Any]] = None
+    if args.compare:
+        other = _load_manifest(args.compare)
+        # union reference so both frontiers are scored in the same box
+        vectors = _manifest_vectors(data) + _manifest_vectors(other)
+        if not vectors:
+            raise ValueError("manifests carry no evaluations to compare")
+        ref = default_reference(vectors, SENSES)
+        hv_a = hypervolume(_frontier_vectors(data), ref, SENSES)
+        hv_b = hypervolume(_frontier_vectors(other), ref, SENSES)
+        compare = {
+            "other": args.compare,
+            "other_algo": other.get("explore", {}).get("algo"),
+            "reference": dict(zip(OBJECTIVE_NAMES, ref)),
+            "hypervolume": round(hv_a, 6),
+            "other_hypervolume": round(hv_b, 6),
+            "winner": args.manifest if hv_a > hv_b else (
+                args.compare if hv_b > hv_a else "tie"
+            ),
+        }
+        payload["compare"] = compare
+
+    def render() -> str:
+        title = (
+            f"{meta.get('space', '?')} frontier "
+            f"({meta.get('algo', '?')}, seed {meta.get('seed', '?')}, "
+            f"hv {data.get('hypervolume')})"
+        )
+        out = format_table(
+            title,
+            _frontier_rows(data["frontier"]),
+            columns=list(OBJECTIVE_NAMES),
+            mean=None,
+            label_header="design",
+        )
+        out += "(* = simulated ground truth)\n"
+        if compare is not None:
+            out += (
+                f"\nshared-reference hypervolume: "
+                f"{compare['hypervolume']:.6g} ({meta.get('algo')}) vs "
+                f"{compare['other_hypervolume']:.6g} "
+                f"({compare['other_algo']}) -> winner: {compare['winner']}\n"
+            )
+        return out
+
+    emit(args.format, payload, render)
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    space = demo_space(args.space)
+    desc = space.describe()
+    desc["objectives"] = [
+        {"name": n, "sense": s} for n, s in zip(OBJECTIVE_NAMES, SENSES)
+    ]
+    desc["reference_designs"] = [
+        space.decode_dict(g)["values"] for g in space.reference_genomes()
+    ]
+
+    def render() -> str:
+        lines = [
+            f"space {desc['name']}: {desc['description']}",
+            f"  mesh {desc['mesh']}, window {desc['cycles']}+{desc['warmup']} "
+            f"cycles, {desc['size']} designs",
+            "  objectives: "
+            + ", ".join(f"{n} ({s})" for n, s in zip(OBJECTIVE_NAMES, SENSES)),
+            "  knobs:",
+        ]
+        for k in desc["knobs"]:
+            values = ", ".join(str(v) for v in k["values"])
+            lines.append(
+                f"    {k['name']:<28s} [{values}] "
+                f"(default {k['default']}, -> {k['path']})"
+            )
+        lines.append("  reference designs:")
+        for vals in desc["reference_designs"]:
+            lines.append(
+                "    "
+                + ", ".join(f"{n}={v}" for n, v in vals.items())
+            )
+        return "\n".join(lines)
+
+    emit(args.format, desc, render)
+    return 0
+
+
+# --- parser ----------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.explore",
+        description="multi-objective design-space exploration",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one search, emit a frontier manifest")
+    run.add_argument(
+        "--space", choices=sorted(SPACES), default="mesh4x4",
+        help="named search space (default: %(default)s)",
+    )
+    run.add_argument(
+        "--algo", choices=ALGORITHMS, default="nsga2",
+        help="search policy (default: %(default)s)",
+    )
+    run.add_argument(
+        "--budget", type=int, default=DEFAULT_BUDGET,
+        help="unique candidate evaluations (default: %(default)s)",
+    )
+    run.add_argument(
+        "--population", type=int, default=DEFAULT_POPULATION,
+        help="NSGA-II population size (default: %(default)s)",
+    )
+    run.add_argument(
+        "--surrogate-only", action="store_true",
+        help="skip simulation entirely; frontier from surrogate scores",
+    )
+    run.add_argument(
+        "--sim-fraction", type=float, default=DEFAULT_SIM_FRACTION,
+        help="max fraction of evaluated candidates promoted to "
+        "simulation (default: %(default)s)",
+    )
+    run.add_argument(
+        "--cache-dir", default=None,
+        help="sweep result cache directory "
+        "(default: $REPRO_SWEEP_CACHE, else no persistence)",
+    )
+    add_seed_option(run, help="search RNG seed (default: 0)")
+    add_window_options(run)
+    add_jobs_option(run)
+    add_batch_option(run)
+    add_out_option(run, help="write the frontier manifest JSON here")
+    add_format_option(run)
+    run.set_defaults(func=cmd_run)
+
+    frontier = sub.add_parser(
+        "frontier", help="inspect or compare frontier manifests"
+    )
+    frontier.add_argument("manifest", help="explore manifest JSON path")
+    frontier.add_argument(
+        "--compare", default=None,
+        help="second manifest; score both frontiers at a shared reference",
+    )
+    add_format_option(frontier)
+    frontier.set_defaults(func=cmd_frontier)
+
+    show = sub.add_parser("show", help="describe a named search space")
+    show.add_argument(
+        "--space", choices=sorted(SPACES), default="mesh4x4",
+        help="named search space (default: %(default)s)",
+    )
+    add_format_option(show)
+    show.set_defaults(func=cmd_show)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

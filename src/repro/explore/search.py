@@ -1,0 +1,630 @@
+"""Seeded multi-objective search over an :class:`ExploreEnv`.
+
+Two policies at the same evaluation budget:
+
+* :func:`nsga2_search` — an NSGA-II-style evolutionary loop: fast
+  non-dominated sort + crowding distance for environmental selection,
+  binary tournaments under the crowded-comparison operator, uniform
+  crossover and per-knob mutation.
+* :func:`random_search` — the honesty baseline; any frontier the
+  evolutionary loop claims must beat uniform sampling at equal budget
+  (the CI smoke gate checks exactly this).
+
+Both draw every random number from one ``random.Random(seed)``, so a
+search is a pure function of ``(space, seed, budget, ...)`` — rerunning
+one reproduces the identical evaluation stream and frontier manifest.
+
+:func:`explore` is the hybrid driver and the subsystem's main entry
+point: it surrogate-scores every candidate the policy proposes
+(milliseconds each), then promotes only the frontier-band survivors —
+capped at ``sim_fraction`` of the evaluated designs — into cycle-level
+simulation via ``SweepRunner``, riding the content-addressed result
+cache so promoted jobs are bit-identical to (and shared with) ordinary
+sweeps and resumable after interruption.  The mechanism reference
+designs (baseline/DR at default provisioning, highest injection) are
+always promoted, so every manifest carries the paper's headline
+baseline-vs-DR comparison.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.report import format_table
+from repro.explore.env import EvalRecord, ExploreEnv
+from repro.explore.objectives import OBJECTIVE_NAMES, OBJECTIVES, SENSES, from_result
+from repro.explore.pareto import (
+    FrontierPoint,
+    ParetoFrontier,
+    crowding_distance,
+    default_reference,
+    dominates,
+    hypervolume,
+    non_dominated_sort,
+)
+from repro.explore.space import Genome, SearchSpace, demo_space
+from repro.sweep.cache import ENV_CACHE_DIR, ResultCache
+from repro.sweep.runner import SweepRunner, stall_shares
+
+ALGORITHMS = ("nsga2", "random")
+DEFAULT_BUDGET = 64
+DEFAULT_POPULATION = 16
+#: ceiling on the simulated share of evaluated candidates (the hybrid
+#: screen's whole point); the acceptance gate checks <= 0.20.
+DEFAULT_SIM_FRACTION = 0.2
+
+_RecordKey = Tuple[str, str]  # (config_hash, gpu)
+
+ProgressFn = Callable[[str], None]
+
+
+def _record_key(r: EvalRecord) -> _RecordKey:
+    return (r.config_hash, r.gpu)
+
+
+class _Evaluator:
+    """Orders the env's memoised evaluations into a unique stream."""
+
+    def __init__(self, env: ExploreEnv) -> None:
+        self.env = env
+        self.ordered: Dict[_RecordKey, EvalRecord] = {}
+
+    def __call__(self, genome: Genome) -> EvalRecord:
+        record = self.env.evaluate(genome)
+        self.ordered.setdefault(_record_key(record), record)
+        return record
+
+    @property
+    def count(self) -> int:
+        return len(self.ordered)
+
+    def records(self) -> List[EvalRecord]:
+        return list(self.ordered.values())
+
+
+def _history_entry(
+    generation: int, records: Sequence[EvalRecord]
+) -> Dict[str, Any]:
+    """Progress snapshot: surrogate-frontier hypervolume so far."""
+    vectors = [
+        tuple(r.objectives[n] for n in OBJECTIVE_NAMES) for r in records
+    ]
+    fronts = non_dominated_sort(vectors, SENSES)
+    front0 = fronts[0] if fronts else []
+    ref = default_reference(vectors, SENSES)
+    hv = hypervolume([vectors[i] for i in front0], ref, SENSES)
+    return {
+        "generation": generation,
+        "evaluations": len(records),
+        "frontier_size": len(front0),
+        "hypervolume": round(hv, 6),
+    }
+
+
+def _initial_population(
+    space: SearchSpace, rng: random.Random, population: int
+) -> List[Genome]:
+    """Reference anchors first, then unique random genomes."""
+    pop: List[Genome] = []
+    seen = set()
+    for g in space.reference_genomes():
+        if g not in seen:
+            seen.add(g)
+            pop.append(g)
+    attempts = 0
+    while len(pop) < population and attempts < population * 50:
+        attempts += 1
+        g = space.random_genome(rng)
+        if g not in seen:
+            seen.add(g)
+            pop.append(g)
+    return pop
+
+
+def _rank_population(
+    genomes: Sequence[Genome], ev: _Evaluator
+) -> Dict[Genome, Tuple[int, float]]:
+    """Genome -> (front index, crowding distance) on surrogate objectives."""
+    vectors = [
+        tuple(ev(g).objectives[n] for n in OBJECTIVE_NAMES) for g in genomes
+    ]
+    ranks: Dict[Genome, Tuple[int, float]] = {}
+    for front_idx, front in enumerate(non_dominated_sort(vectors, SENSES)):
+        crowd = crowding_distance([vectors[i] for i in front])
+        for i, d in zip(front, crowd):
+            ranks[genomes[i]] = (front_idx, d)
+    return ranks
+
+
+def _tournament(
+    rng: random.Random,
+    genomes: Sequence[Genome],
+    ranks: Dict[Genome, Tuple[int, float]],
+) -> Genome:
+    """Binary tournament under the crowded-comparison operator."""
+    a, b = rng.choice(genomes), rng.choice(genomes)
+    fa, da = ranks[a]
+    fb, db = ranks[b]
+    if fa != fb:
+        return a if fa < fb else b
+    if da != db:
+        return a if da > db else b
+    return a
+
+
+def nsga2_search(
+    env: ExploreEnv,
+    *,
+    budget: int = DEFAULT_BUDGET,
+    population: int = DEFAULT_POPULATION,
+    seed: int = 0,
+    mutation_rate: Optional[float] = None,
+    crossover_rate: float = 0.9,
+) -> Tuple[List[EvalRecord], List[Dict[str, Any]]]:
+    """NSGA-II over the env's space until ``budget`` unique evaluations.
+
+    Returns the evaluated records in first-seen order plus a
+    per-generation history (evaluations, frontier size, hypervolume).
+    """
+    rng = random.Random(seed)
+    space = env.space
+    ev = _Evaluator(env)
+
+    pop = _initial_population(space, rng, population)
+    known: set = set()  # genomes evaluated within the budget
+    for g in pop:
+        if ev.count >= budget:
+            break
+        ev(g)
+        known.add(g)
+    pop = [g for g in pop if g in known]
+    history = [_history_entry(0, ev.records())]
+
+    generation = 0
+    stall_rounds = 0
+    while ev.count < budget and stall_rounds < 5:
+        generation += 1
+        ranks = _rank_population(pop, ev)
+        offspring: List[Genome] = []
+        for _ in range(population):
+            p1 = _tournament(rng, pop, ranks)
+            p2 = _tournament(rng, pop, ranks)
+            child = (
+                space.crossover(p1, p2, rng)
+                if rng.random() < crossover_rate
+                else p1
+            )
+            child = space.mutate(child, rng, mutation_rate)
+            # walk duplicates away from already-evaluated genomes so the
+            # budget is spent on novel near-frontier designs instead of
+            # memo hits (bounded, so exhausted basins still terminate)
+            tries = 0
+            while child in known and tries < 8:
+                child = space.mutate(child, rng, rate=0.5)
+                tries += 1
+            offspring.append(child)
+
+        before = ev.count
+        for g in offspring:
+            if g in known:
+                continue
+            if ev.count >= budget:
+                break
+            ev(g)
+            known.add(g)
+        # a whole generation of duplicates means the space (or this
+        # basin) is exhausted; stop instead of spinning on the memo
+        stall_rounds = stall_rounds + 1 if ev.count == before else 0
+
+        # environmental selection over parents + offspring, deduplicated
+        # by decoded design so inert-gene twins can't crowd the pool;
+        # offspring the budget guard skipped never joined `known` and are
+        # excluded, so selection cannot trigger fresh evaluations
+        union: List[Genome] = []
+        seen_keys = set()
+        for g in list(pop) + [g for g in offspring if g in known]:
+            key = _record_key(ev(g))
+            if key not in seen_keys:
+                seen_keys.add(key)
+                union.append(g)
+        vectors = [
+            tuple(ev(g).objectives[n] for n in OBJECTIVE_NAMES)
+            for g in union
+        ]
+        next_pop: List[Genome] = []
+        for front in non_dominated_sort(vectors, SENSES):
+            if len(next_pop) + len(front) <= population:
+                next_pop.extend(union[i] for i in front)
+            else:
+                crowd = crowding_distance([vectors[i] for i in front])
+                order = sorted(
+                    range(len(front)), key=lambda j: (-crowd[j], front[j])
+                )
+                room = population - len(next_pop)
+                next_pop.extend(union[front[j]] for j in order[:room])
+                break
+        pop = next_pop
+        history.append(_history_entry(generation, ev.records()))
+
+    return ev.records(), history
+
+
+def random_search(
+    env: ExploreEnv,
+    *,
+    budget: int = DEFAULT_BUDGET,
+    population: int = DEFAULT_POPULATION,
+    seed: int = 0,
+) -> Tuple[List[EvalRecord], List[Dict[str, Any]]]:
+    """Uniform random sampling at the same budget (the control arm).
+
+    Includes the same reference anchors as :func:`nsga2_search` so the
+    two arms stay comparable point-for-point; ``population`` only sets
+    the history snapshot granularity.
+    """
+    rng = random.Random(seed)
+    space = env.space
+    ev = _Evaluator(env)
+    for g in space.reference_genomes():
+        if ev.count >= budget:
+            break
+        ev(g)
+    history = [_history_entry(0, ev.records())]
+    attempts = 0
+    chunk = 0
+    while ev.count < budget and attempts < budget * 50:
+        attempts += 1
+        ev(space.random_genome(rng))
+        if ev.count // population > chunk:
+            chunk = ev.count // population
+            history.append(_history_entry(chunk, ev.records()))
+    if history[-1]["evaluations"] != ev.count:
+        history.append(_history_entry(chunk + 1, ev.records()))
+    return ev.records(), history
+
+
+# ---------------------------------------------------------------------------
+# the hybrid surrogate-screen + simulate driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExploreOutcome:
+    """Everything one exploration produced, manifest-ready."""
+
+    space: str
+    algo: str
+    seed: int
+    budget: int
+    population: int
+    cycles: int
+    warmup: int
+    surrogate_only: bool
+    sim_fraction: float
+    records: List[EvalRecord]
+    frontier: ParetoFrontier
+    surrogate_frontier: ParetoFrontier
+    history: List[Dict[str, Any]] = field(default_factory=list)
+    simulated: int = 0
+    cached: int = 0
+    failed: int = 0
+    reference: Dict[str, float] = field(default_factory=dict)
+    hypervolume: float = 0.0
+    dr_dominance: Optional[Dict[str, Any]] = None
+    wall_time_s: float = 0.0
+
+    @property
+    def evaluated(self) -> int:
+        return len(self.records)
+
+    @property
+    def screened_out(self) -> int:
+        return self.evaluated - self.simulated
+
+    def best(self) -> Optional[FrontierPoint]:
+        """The frontier point with the best victim metric (latency p95)."""
+        points = self.frontier.points
+        if not points:
+            return None
+        return min(
+            points,
+            key=lambda p: (p.objectives["cpu_latency_p95"], p.config_hash),
+        )
+
+    def manifest(self) -> Dict[str, Any]:
+        return {
+            "schema": "explore-v1",
+            "explore": {
+                "space": self.space,
+                "algo": self.algo,
+                "seed": self.seed,
+                "budget": self.budget,
+                "population": self.population,
+                "cycles": self.cycles,
+                "warmup": self.warmup,
+                "surrogate_only": self.surrogate_only,
+                "sim_fraction": self.sim_fraction,
+            },
+            "counts": {
+                "evaluated": self.evaluated,
+                "simulated": self.simulated,
+                "screened_out": self.screened_out,
+                "cached": self.cached,
+                "failed": self.failed,
+            },
+            "objectives": [o.to_dict() for o in OBJECTIVES],
+            "reference": {k: round(v, 6) for k, v in self.reference.items()},
+            "hypervolume": round(self.hypervolume, 6),
+            "dr_dominance": self.dr_dominance,
+            "history": self.history,
+            "frontier": self.frontier.to_dict(),
+            "surrogate_frontier": self.surrogate_frontier.to_dict(),
+            "evaluations": [r.to_dict() for r in self.records],
+            "wall_time_s": round(self.wall_time_s, 3),
+        }
+
+    def table(self) -> str:
+        rows = []
+        for p in sorted(
+            self.frontier.points,
+            key=lambda p: (p.objectives["cpu_latency_p95"], p.config_hash),
+        ):
+            mech = p.values.get("mechanism", p.mechanism)
+            mark = "*" if p.source == "simulated" else ""
+            rows.append(
+                (
+                    f"{mech}/{p.gpu}/{p.config_hash[:8]}{mark}",
+                    dict(p.objectives),
+                )
+            )
+        title = (
+            f"{self.space} frontier ({self.algo}, seed {self.seed}, "
+            f"{self.evaluated} evaluated / {self.simulated} simulated, "
+            f"hv {self.hypervolume:.4g})"
+        )
+        table = format_table(
+            title,
+            rows,
+            columns=list(OBJECTIVE_NAMES),
+            mean=None,
+            label_header="design",
+        )
+        return table + "(* = simulated ground truth)\n"
+
+
+def _resolve_cache(
+    cache: Union[ResultCache, str, None]
+) -> Optional[ResultCache]:
+    if cache == "auto":
+        return ResultCache() if os.environ.get(ENV_CACHE_DIR) else None
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def _select_survivors(
+    records: Sequence[EvalRecord],
+    anchors: Sequence[_RecordKey],
+    max_sims: int,
+) -> List[EvalRecord]:
+    """Frontier-band selection of candidates worth cycle-level truth.
+
+    Anchors first, then the non-dominated-sort fronts of the surrogate
+    objectives, best front outward, each front ordered by crowding
+    distance so the promoted band spreads along the frontier instead of
+    clustering.
+    """
+    chosen: List[EvalRecord] = []
+    chosen_keys = set()
+    by_key = {_record_key(r): r for r in records}
+    for key in anchors:
+        r = by_key.get(key)
+        if r is not None and key not in chosen_keys:
+            chosen_keys.add(key)
+            chosen.append(r)
+    vectors = [
+        tuple(r.objectives[n] for n in OBJECTIVE_NAMES) for r in records
+    ]
+    for front in non_dominated_sort(vectors, SENSES):
+        if len(chosen) >= max_sims:
+            break
+        crowd = crowding_distance([vectors[i] for i in front])
+        order = sorted(range(len(front)), key=lambda j: (-crowd[j], front[j]))
+        for j in order:
+            if len(chosen) >= max_sims:
+                break
+            r = records[front[j]]
+            key = _record_key(r)
+            if key not in chosen_keys:
+                chosen_keys.add(key)
+                chosen.append(r)
+    return chosen
+
+
+def _dr_dominance(
+    records: Sequence[EvalRecord],
+    baseline_key: Optional[_RecordKey],
+    simulated_tier: bool,
+) -> Optional[Dict[str, Any]]:
+    """Does some DR design dominate the reference baseline on
+    (latency p95, throughput) at the anchor's (high) injection level?"""
+    if simulated_tier:
+        pool = [r for r in records if r.sim_objectives is not None]
+    else:
+        pool = list(records)
+    base = next(
+        (r for r in pool if _record_key(r) == baseline_key), None
+    )
+    if base is None:
+        return None
+    names = ("cpu_latency_p95", "throughput")
+    senses = ("min", "max")
+    bvec = tuple(base.final_objectives[n] for n in names)
+    dominating = [
+        r.config_hash
+        for r in pool
+        if r.mechanism == "delegated_replies"
+        and r.gpu == base.gpu
+        and dominates(
+            tuple(r.final_objectives[n] for n in names), bvec, senses
+        )
+    ]
+    return {
+        "objectives": list(names),
+        "gpu": base.gpu,
+        "tier": "simulated" if simulated_tier else "surrogate",
+        "baseline": {
+            "config_hash": base.config_hash,
+            **{n: round(float(base.final_objectives[n]), 6) for n in names},
+        },
+        "dominating": dominating,
+        "holds": bool(dominating),
+    }
+
+
+def explore(
+    space: Union[str, SearchSpace] = "mesh4x4",
+    *,
+    algo: str = "nsga2",
+    budget: int = DEFAULT_BUDGET,
+    population: int = DEFAULT_POPULATION,
+    seed: int = 0,
+    surrogate_only: bool = False,
+    sim_fraction: float = DEFAULT_SIM_FRACTION,
+    jobs: Optional[int] = None,
+    batch: Optional[int] = None,
+    cycles: Optional[int] = None,
+    warmup: Optional[int] = None,
+    cache: Union[ResultCache, str, None] = "auto",
+    progress: Optional[ProgressFn] = None,
+) -> ExploreOutcome:
+    """Run one hybrid design-space exploration; see module docstring.
+
+    ``cache="auto"`` follows the ``run_sweep`` convention: persist to
+    disk only when ``REPRO_SWEEP_CACHE`` is set.  With
+    ``surrogate_only`` no simulation happens and the frontier is built
+    from surrogate scores alone (the CI smoke mode).
+    """
+    t0 = time.perf_counter()
+    space = demo_space(space) if isinstance(space, str) else space
+    if algo not in ALGORITHMS:
+        raise ValueError(f"unknown algo {algo!r}; choose from {ALGORITHMS}")
+    env = ExploreEnv(space, cycles=cycles, warmup=warmup)
+
+    if progress:
+        progress(
+            f"{space.name}: {algo} search, budget {budget} "
+            f"(space size {space.size})"
+        )
+    if algo == "nsga2":
+        records, history = nsga2_search(
+            env, budget=budget, population=population, seed=seed
+        )
+    else:
+        records, history = random_search(
+            env, budget=budget, population=population, seed=seed
+        )
+
+    surrogate_frontier = ParetoFrontier(OBJECTIVE_NAMES, SENSES)
+    surrogate_frontier.extend([r.frontier_point() for r in records])
+
+    anchor_keys = [
+        _record_key(env.evaluate(g)) for g in space.reference_genomes()
+    ]
+    baseline_key = next(
+        (
+            _record_key(r)
+            for g in space.reference_genomes()
+            for r in [env.evaluate(g)]
+            if r.mechanism == "baseline"
+        ),
+        None,
+    )
+
+    simulated = cached = failed = 0
+    if not surrogate_only:
+        max_sims = max(len(anchor_keys), int(sim_fraction * len(records)))
+        max_sims = min(max_sims, len(records))
+        survivors = _select_survivors(records, anchor_keys, max_sims)
+        specs = {_record_key(r): env.spec(r.genome) for r in survivors}
+        if progress:
+            progress(
+                f"simulating {len(survivors)}/{len(records)} survivors "
+                f"(cap {sim_fraction:.0%})"
+            )
+        runner = SweepRunner(
+            cache=_resolve_cache(cache), jobs=jobs, batch=batch
+        )
+        try:
+            outcomes = runner.run(list(specs.values()))
+        finally:
+            runner.close()
+        for r in survivors:
+            spec = specs[_record_key(r)]
+            out = outcomes.get(spec.key())
+            if out is None or out.result is None:
+                failed += 1
+                continue
+            cfg = spec.system_config()
+            r.sim_objectives = from_result(cfg, out.result)
+            r.sim_metrics = {
+                "cpu_latency_avg": out.result.cpu_latency_avg,
+                "gpu_latency_p95": out.result.gpu_latency_p95,
+                "mem_blocking_rate": out.result.mem_blocking_rate,
+            }
+            for group, shares in stall_shares(
+                out.result.stall_breakdown
+            ).items():
+                for cls, share in shares.items():
+                    r.sim_metrics[f"stall_share.{group}.{cls}"] = share
+            r.cached = out.status == "cached"
+            simulated += 1
+            cached += int(r.cached)
+
+    tier = [r for r in records if r.sim_objectives is not None]
+    frontier = ParetoFrontier(OBJECTIVE_NAMES, SENSES)
+    if surrogate_only or not tier:
+        frontier.extend([r.frontier_point() for r in records])
+    else:
+        frontier.extend([r.frontier_point() for r in tier])
+
+    # the reference point spans every evaluation (surrogate values, which
+    # every record has), so frontiers from different runs over the same
+    # space can be compared after unioning their evaluation sets
+    all_vectors = [
+        tuple(r.objectives[n] for n in OBJECTIVE_NAMES) for r in records
+    ]
+    ref_vec = default_reference(all_vectors, SENSES)
+    reference = dict(zip(OBJECTIVE_NAMES, ref_vec))
+    hv = hypervolume(frontier.vectors(), ref_vec, SENSES)
+
+    dr_dom = _dr_dominance(
+        records, baseline_key, simulated_tier=bool(tier) and not surrogate_only
+    )
+
+    return ExploreOutcome(
+        space=space.name,
+        algo=algo,
+        seed=seed,
+        budget=budget,
+        population=population,
+        cycles=env.cycles,
+        warmup=env.warmup,
+        surrogate_only=surrogate_only,
+        sim_fraction=sim_fraction,
+        records=records,
+        frontier=frontier,
+        surrogate_frontier=surrogate_frontier,
+        history=history,
+        simulated=simulated,
+        cached=cached,
+        failed=failed,
+        reference=reference,
+        hypervolume=hv,
+        dr_dominance=dr_dom,
+        wall_time_s=time.perf_counter() - t0,
+    )

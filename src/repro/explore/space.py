@@ -1,0 +1,458 @@
+"""Typed knob spaces over :class:`SystemConfig` for design-space search.
+
+A :class:`SearchSpace` declares an ordered tuple of :class:`Knob`\\ s, each
+with a discrete value list and a target — either a dotted path into
+``SystemConfig`` (``noc.vcs_per_port``) or one of the special targets:
+
+* ``mechanism`` — reply-delivery mechanism (sets the enable flags the way
+  ``repro.experiments.common.mechanism_config`` does),
+* ``mesh`` — mesh size preset (width/height plus the matching GPU/CPU/MEM
+  node mix, since the fabric must be exactly filled),
+* ``gpu`` — the GPU workload, i.e. the injection intensity of the search
+  point; the CPU co-runner follows Table II.
+
+A *genome* is a tuple of value indices, one per knob — the action type of
+:class:`repro.explore.env.ExploreEnv` and the unit the evolutionary
+operators (mutation, crossover) act on.  ``decode`` turns a genome into a
+concrete ``(SystemConfig, gpu, cpu)`` triple and canonicalises unexpressed
+knobs (delegation thresholds under a baseline mechanism, probe width under
+non-RP) back to their defaults, so genomes that differ only in inert genes
+collapse to one config hash and share one surrogate memo / sweep cache
+entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.config.system import (
+    DelegationConfig,
+    Mechanism,
+    ProbingConfig,
+    SystemConfig,
+    Topology,
+)
+
+#: mesh presets: width, height, and the node mix that fills the fabric
+#: (GPU-heavy ~62/25/12% split, matching Table I's 40/16/8 on 8x8).
+MESH_MIXES: Dict[str, Tuple[int, int, int, int, int]] = {
+    "4x4": (4, 4, 10, 4, 2),
+    "8x8": (8, 8, 40, 16, 8),
+}
+
+_MECHANISMS = {
+    "baseline": Mechanism.BASELINE,
+    "dr": Mechanism.DELEGATED_REPLIES,
+    "rp": Mechanism.REALISTIC_PROBING,
+}
+
+Genome = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One discrete design knob."""
+
+    name: str
+    values: Tuple[Any, ...]
+    #: dotted ``SystemConfig`` path, or ``mechanism`` / ``mesh`` / ``gpu``.
+    path: str
+    #: the default value (reference designs use it); first value if unset.
+    default: Any = None
+
+    def __post_init__(self) -> None:
+        if len(self.values) < 2:
+            raise ValueError(f"knob {self.name!r} needs >= 2 values")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"knob {self.name!r} has duplicate values")
+        if self.default is not None and self.default not in self.values:
+            raise ValueError(
+                f"knob {self.name!r} default {self.default!r} not in values"
+            )
+
+    @property
+    def default_index(self) -> int:
+        if self.default is None:
+            return 0
+        return self.values.index(self.default)
+
+
+def _set_path(cfg: SystemConfig, path: str, value: Any) -> None:
+    obj: Any = cfg
+    parts = path.split(".")
+    for part in parts[:-1]:
+        obj = getattr(obj, part)
+    if not hasattr(obj, parts[-1]):
+        raise AttributeError(f"config has no field {path!r}")
+    setattr(obj, parts[-1], value)
+
+
+def _apply_mesh(cfg: SystemConfig, preset: str) -> None:
+    try:
+        w, h, g, c, m = MESH_MIXES[preset]
+    except KeyError:
+        raise ValueError(
+            f"unknown mesh preset {preset!r}; choose from {sorted(MESH_MIXES)}"
+        ) from None
+    cfg.mesh_width, cfg.mesh_height = w, h
+    cfg.n_gpu, cfg.n_cpu, cfg.n_mem = g, c, m
+
+
+def _apply_mechanism(cfg: SystemConfig, value: str) -> None:
+    try:
+        cfg.mechanism = _MECHANISMS[value]
+    except KeyError:
+        raise ValueError(
+            f"unknown mechanism {value!r}; choose from {sorted(_MECHANISMS)}"
+        ) from None
+    cfg.delegation.enabled = cfg.mechanism is Mechanism.DELEGATED_REPLIES
+    cfg.probing.enabled = cfg.mechanism is Mechanism.REALISTIC_PROBING
+
+
+@dataclass
+class SearchSpace:
+    """An ordered, finite knob space with genome encode/decode."""
+
+    name: str
+    knobs: Tuple[Knob, ...]
+    description: str = ""
+    #: mesh preset applied before the knobs (a ``mesh`` knob overrides it).
+    mesh: str = "8x8"
+    #: workload when the space has no ``gpu`` knob.
+    gpu: str = "SC"
+    #: simulation window for promoted candidates; the mesh4x4 spaces
+    #: default long (see repro.model.validate.grid_specs) because the
+    #: small mesh's clog develops slowly.
+    cycles: int = 3000
+    warmup: int = 2000
+    _by_name: Dict[str, int] = field(init=False, repr=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        names = [k.name for k in self.knobs]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate knob names")
+        self._by_name = {k.name: i for i, k in enumerate(self.knobs)}
+        # fail fast on bad dotted paths / presets: decode the default genome
+        self.decode(self.default_genome())
+
+    # -- shape ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.knobs)
+
+    @property
+    def size(self) -> int:
+        """Cardinality of the raw genome space."""
+        total = 1
+        for k in self.knobs:
+            total *= len(k.values)
+        return total
+
+    def knob(self, name: str) -> Knob:
+        return self.knobs[self._by_name[name]]
+
+    # -- genome <-> values ------------------------------------------------
+
+    def default_genome(self) -> Genome:
+        return tuple(k.default_index for k in self.knobs)
+
+    def values(self, genome: Genome) -> Dict[str, Any]:
+        """Knob name -> chosen value, in knob order."""
+        self._check(genome)
+        return {k.name: k.values[g] for k, g in zip(self.knobs, genome)}
+
+    def encode(self, values: Dict[str, Any]) -> Genome:
+        """Inverse of :meth:`values`; unmentioned knobs take their default."""
+        genome = list(self.default_genome())
+        for name, value in values.items():
+            if name not in self._by_name:
+                raise KeyError(f"space {self.name!r} has no knob {name!r}")
+            i = self._by_name[name]
+            try:
+                genome[i] = self.knobs[i].values.index(value)
+            except ValueError:
+                raise ValueError(
+                    f"knob {name!r} has no value {value!r}"
+                ) from None
+        return tuple(genome)
+
+    def _check(self, genome: Genome) -> None:
+        if len(genome) != len(self.knobs):
+            raise ValueError(
+                f"genome length {len(genome)} != {len(self.knobs)} knobs"
+            )
+        for k, g in zip(self.knobs, genome):
+            if not 0 <= g < len(k.values):
+                raise ValueError(f"gene {g} out of range for knob {k.name!r}")
+
+    # -- genome -> config -------------------------------------------------
+
+    def decode(self, genome: Genome) -> Tuple[SystemConfig, str, str]:
+        """Decode a genome into ``(config, gpu, cpu)``.
+
+        Special knobs apply first (mesh preset, mechanism), then dotted
+        paths; finally inert sections are canonicalised (see module
+        docstring) and the node mix is re-validated.
+        """
+        from repro.experiments.common import cpu_corunners
+
+        vals = self.values(genome)
+        cfg = SystemConfig() if self.mesh == "8x8" else _mesh_config(self.mesh)
+        gpu = self.gpu
+        dotted: List[Tuple[str, Any]] = []
+        for k in self.knobs:
+            v = vals[k.name]
+            if k.path == "mesh":
+                _apply_mesh(cfg, v)
+            elif k.path == "gpu":
+                gpu = v
+            else:
+                dotted.append((k.path, v))
+        for k in self.knobs:
+            if k.path == "mechanism":
+                _apply_mechanism(cfg, vals[k.name])
+        for path, v in dotted:
+            if path == "mechanism":
+                continue
+            _set_path(cfg, path, v)
+        # canonicalise sections the chosen mechanism never reads, so inert
+        # gene differences cannot fork config hashes / cache entries
+        if cfg.mechanism is not Mechanism.DELEGATED_REPLIES:
+            cfg.delegation = DelegationConfig(enabled=False)
+        if cfg.mechanism is not Mechanism.REALISTIC_PROBING:
+            cfg.probing = ProbingConfig(enabled=False)
+        cfg.__post_init__()  # re-validate the node mix after mutation
+        return cfg, gpu, cpu_corunners(gpu, 1)[0]
+
+    def decode_dict(self, genome: Genome) -> Dict[str, Any]:
+        """Genome as a portable dict: full config plus workload pair."""
+        cfg, gpu, cpu = self.decode(genome)
+        return {
+            "config": cfg.to_dict(),
+            "config_hash": cfg.config_hash(),
+            "gpu": gpu,
+            "cpu": cpu,
+            "values": self.values(genome),
+        }
+
+    # -- evolutionary operators ------------------------------------------
+
+    def random_genome(self, rng) -> Genome:
+        return tuple(rng.randrange(len(k.values)) for k in self.knobs)
+
+    def mutate(
+        self, genome: Genome, rng, rate: Optional[float] = None
+    ) -> Genome:
+        """Per-knob mutation: each gene flips to a *different* value with
+        probability ``rate`` (default 1/n_knobs)."""
+        self._check(genome)
+        rate = 1.0 / len(self.knobs) if rate is None else rate
+        out = list(genome)
+        for i, k in enumerate(self.knobs):
+            if rng.random() < rate:
+                alternatives = [
+                    j for j in range(len(k.values)) if j != genome[i]
+                ]
+                out[i] = rng.choice(alternatives)
+        return tuple(out)
+
+    def crossover(self, a: Genome, b: Genome, rng) -> Genome:
+        """Uniform crossover: each gene from either parent with p=0.5."""
+        self._check(a)
+        self._check(b)
+        return tuple(x if rng.random() < 0.5 else y for x, y in zip(a, b))
+
+    # -- reference designs ------------------------------------------------
+
+    def reference_genomes(self) -> List[Genome]:
+        """Anchor designs: every mechanism at default provisioning, pinned
+        to the highest-injection workload (the last ``gpu`` value — spaces
+        list workloads low to high).
+
+        These are always simulated by the hybrid search, so the frontier
+        manifest always contains the baseline-vs-DR comparison the paper
+        makes, whatever the search wandered off to explore.
+        """
+        genomes: List[Genome] = []
+        base = list(self.default_genome())
+        if "gpu" in self._by_name:
+            i = self._by_name["gpu"]
+            base[i] = len(self.knobs[i].values) - 1
+        if "mechanism" in self._by_name:
+            i = self._by_name["mechanism"]
+            for j in range(len(self.knobs[i].values)):
+                g = list(base)
+                g[i] = j
+                genomes.append(tuple(g))
+        else:
+            genomes.append(tuple(base))
+        return genomes
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "mesh": self.mesh,
+            "cycles": self.cycles,
+            "warmup": self.warmup,
+            "size": self.size,
+            "knobs": [
+                {
+                    "name": k.name,
+                    "path": k.path,
+                    "values": list(k.values),
+                    "default": k.values[k.default_index],
+                }
+                for k in self.knobs
+            ],
+        }
+
+
+def _mesh_config(preset: str) -> SystemConfig:
+    w, h, g, c, m = MESH_MIXES[preset]
+    return SystemConfig(
+        mesh_width=w, mesh_height=h, n_gpu=g, n_cpu=c, n_mem=m
+    )
+
+
+# ---------------------------------------------------------------------------
+# named demo spaces
+# ---------------------------------------------------------------------------
+
+
+def _workload_knob() -> Knob:
+    # injection ladder, low -> high (NN light, HS mid, SC clogging-heavy)
+    return Knob("gpu", ("NN", "HS", "SC"), "gpu", default="SC")
+
+
+def _provisioning_knobs() -> Tuple[Knob, ...]:
+    return (
+        Knob("vcs_per_port", (2, 4), "noc.vcs_per_port", default=2),
+        Knob("vc_depth_flits", (2, 4, 8), "noc.vc_depth_flits", default=4),
+        Knob(
+            "mem_injection_buffer_flits",
+            (18, 36, 72),
+            "noc.mem_injection_buffer_flits",
+            default=36,
+        ),
+    )
+
+
+def _delegation_knobs() -> Tuple[Knob, ...]:
+    return (
+        Knob(
+            "only_when_blocked",
+            (True, False),
+            "delegation.only_when_blocked",
+            default=True,
+        ),
+        Knob(
+            "max_delegations_per_cycle",
+            (1, 2, 4),
+            "delegation.max_delegations_per_cycle",
+            default=2,
+        ),
+    )
+
+
+def mesh4x4_space() -> SearchSpace:
+    """The 16-node CI-scale demo space (648 genomes)."""
+    return SearchSpace(
+        name="mesh4x4",
+        description=(
+            "16-node mesh: mechanism, delegation policy, VC/buffer "
+            "provisioning and injection level"
+        ),
+        mesh="4x4",
+        cycles=12000,
+        warmup=3000,
+        knobs=(
+            _workload_knob(),
+            Knob("mechanism", ("baseline", "dr"), "mechanism", default="baseline"),
+            *_delegation_knobs(),
+            *_provisioning_knobs(),
+        ),
+    )
+
+
+def mesh8x8_space() -> SearchSpace:
+    """The paper-scale space: Table I system plus topology/bandwidth."""
+    return SearchSpace(
+        name="mesh8x8",
+        description=(
+            "64-node system: mechanism, delegation policy, topology, "
+            "bandwidth, VC/buffer provisioning and injection level"
+        ),
+        mesh="8x8",
+        cycles=3000,
+        warmup=2000,
+        knobs=(
+            _workload_knob(),
+            Knob(
+                "mechanism", ("baseline", "dr", "rp"), "mechanism",
+                default="baseline",
+            ),
+            *_delegation_knobs(),
+            Knob(
+                "topology",
+                (Topology.MESH, Topology.FLATTENED_BUTTERFLY),
+                "noc.topology",
+                default=Topology.MESH,
+            ),
+            Knob(
+                "bandwidth_factor",
+                (1.0, 2.0),
+                "noc.bandwidth_factor",
+                default=1.0,
+            ),
+            *_provisioning_knobs(),
+        ),
+    )
+
+
+def full_space() -> SearchSpace:
+    """Both mesh sizes in one space (mesh size becomes a searched knob)."""
+    return SearchSpace(
+        name="full",
+        description="mesh4x4 + mesh8x8 union with topology and bandwidth",
+        mesh="8x8",
+        cycles=6000,
+        warmup=2000,
+        knobs=(
+            Knob("mesh", ("4x4", "8x8"), "mesh", default="8x8"),
+            _workload_knob(),
+            Knob("mechanism", ("baseline", "dr"), "mechanism", default="baseline"),
+            *_delegation_knobs(),
+            Knob(
+                "topology",
+                (Topology.MESH, Topology.FLATTENED_BUTTERFLY),
+                "noc.topology",
+                default=Topology.MESH,
+            ),
+            Knob(
+                "bandwidth_factor",
+                (1.0, 2.0),
+                "noc.bandwidth_factor",
+                default=1.0,
+            ),
+            *_provisioning_knobs(),
+        ),
+    )
+
+
+SPACES = {
+    "mesh4x4": mesh4x4_space,
+    "mesh8x8": mesh8x8_space,
+    "full": full_space,
+}
+
+
+def demo_space(name: str) -> SearchSpace:
+    """Resolve a named demo space (``mesh4x4``, ``mesh8x8``, ``full``)."""
+    try:
+        return SPACES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown space {name!r}; choose from {sorted(SPACES)}"
+        ) from None

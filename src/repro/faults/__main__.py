@@ -32,10 +32,12 @@ import sys
 
 from repro.cli import (
     add_batch_option,
+    add_format_option,
     add_jobs_option,
     add_out_option,
     add_seed_option,
     add_window_options,
+    emit,
 )
 
 
@@ -83,24 +85,48 @@ def cmd_run(args) -> int:
     leftover = quiesce(system)
     summary = system.faults.summary() if system.faults else {}
 
-    print(f"chaos run {args.gpu}/{cpu}/{args.mechanism}: "
-          f"{warmup}+{cycles} cycles, plan {plan.plan_hash()} "
-          f"({len(plan.events)} events)")
-    print(f"  gpu_ipc {result.gpu_ipc:.4f}  "
-          f"cpu p99 {result.cpu_latency_p99:.0f}")
-    for k in ("drops", "corrupts", "discarded", "retransmits",
-              "fallback_dnfs", "recovered", "lost", "watchdog_fires",
-              "links_downed"):
-        print(f"  {k:>14}: {summary.get(k, 0)}")
-    print(f"  recovery p50/max: {summary.get('recovery_p50', 0)}/"
-          f"{summary.get('recovery_max', 0)} cycles")
     lost = summary.get("lost", 0)
-    if lost or leftover:
+    ok = not (lost or leftover)
+
+    def _render() -> str:
+        lines = [
+            f"chaos run {args.gpu}/{cpu}/{args.mechanism}: "
+            f"{warmup}+{cycles} cycles, plan {plan.plan_hash()} "
+            f"({len(plan.events)} events)",
+            f"  gpu_ipc {result.gpu_ipc:.4f}  "
+            f"cpu p99 {result.cpu_latency_p99:.0f}",
+        ]
+        for k in ("drops", "corrupts", "discarded", "retransmits",
+                  "fallback_dnfs", "recovered", "lost", "watchdog_fires",
+                  "links_downed"):
+            lines.append(f"  {k:>14}: {summary.get(k, 0)}")
+        lines.append(f"  recovery p50/max: {summary.get('recovery_p50', 0)}/"
+                     f"{summary.get('recovery_max', 0)} cycles")
+        if ok:
+            lines.append(
+                "OK: every injected fault recovered; network drained clean"
+            )
+        return "\n".join(lines)
+
+    emit(args.format, {
+        "gpu": args.gpu,
+        "cpu": cpu,
+        "mechanism": args.mechanism,
+        "cycles": cycles,
+        "warmup": warmup,
+        "plan_hash": plan.plan_hash(),
+        "plan_events": len(plan.events),
+        "gpu_ipc": result.gpu_ipc,
+        "cpu_latency_p99": result.cpu_latency_p99,
+        "faults": dict(summary),
+        "leftover": leftover,
+        "ok": ok,
+    }, _render)
+    if not ok:
         print(f"FAIL: {lost} transaction(s) lost, "
               f"{leftover} flit(s)/entry(ies) stuck after quiesce",
               file=sys.stderr)
         return 1
-    print("OK: every injected fault recovered; network drained clean")
     return 0
 
 
@@ -133,16 +159,15 @@ def cmd_sweep(args) -> int:
         jobs=args.jobs,
         batch=args.batch,
     )
-    print(result.text)
+    payload = {"rows": [[label, cells] for label, cells in result.rows],
+               "data": result.data}
+    emit(args.format, payload, result.text)
     if args.out:
         with open(args.out, "w") as fh:
-            json.dump(
-                {"rows": [[label, cells] for label, cells in result.rows],
-                 "data": result.data},
-                fh, indent=2,
-            )
+            json.dump(payload, fh, indent=2)
             fh.write("\n")
-        print(f"wrote {args.out}")
+        if args.format != "json":
+            print(f"wrote {args.out}")
     return 1 if result.data.get("total_lost") else 0
 
 
@@ -163,6 +188,7 @@ def main(argv=None) -> int:
                        help="chaos intensity in [0,1] (default 0.1)")
     run_p.add_argument("--plan", default=None,
                        help="JSON FaultPlan file (overrides --intensity)")
+    add_format_option(run_p)
 
     plan_p = sub.add_parser("plan", help="emit a chaos FaultPlan as JSON")
     plan_p.add_argument("--mechanism", choices=("baseline", "rp", "dr"),
@@ -183,6 +209,7 @@ def main(argv=None) -> int:
     add_jobs_option(sweep_p)
     add_batch_option(sweep_p)
     add_out_option(sweep_p, help="write the sweep rows as JSON")
+    add_format_option(sweep_p)
 
     args = parser.parse_args(argv)
     if args.command == "run":

@@ -22,9 +22,20 @@ import argparse
 import struct
 import sys
 
-from repro.cli import add_out_option, add_seed_option, add_window_options
+from repro.cli import (
+    add_format_option,
+    add_out_option,
+    add_seed_option,
+    add_window_options,
+    emit,
+)
 from repro.telemetry.report import (
     load_summary,
+    payload_blame,
+    payload_events,
+    payload_hist,
+    payload_report,
+    payload_timeline,
     render_blame,
     render_events,
     render_hist,
@@ -111,6 +122,9 @@ def main(argv=None) -> int:
         if name == "hist":
             p.add_argument("--net", choices=("request", "reply"), default=None)
             p.add_argument("--cls", choices=("CPU", "GPU"), default=None)
+        # the shared table/json switch; note the `trace` subcommand's
+        # --format is a different thing (jsonl/bin trace encoding)
+        add_format_option(p)
     args = parser.parse_args(argv)
 
     if args.command == "trace":
@@ -134,15 +148,20 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return 2
     if args.command == "report":
-        print(render_report(summary))
+        emit(args.format, payload_report(summary),
+             lambda: render_report(summary))
     elif args.command == "hist":
-        print(render_hist(summary, net=args.net, cls=args.cls))
+        emit(args.format, payload_hist(summary, net=args.net, cls=args.cls),
+             lambda: render_hist(summary, net=args.net, cls=args.cls))
     elif args.command == "timeline":
-        print(render_timeline(summary))
+        emit(args.format, payload_timeline(summary),
+             lambda: render_timeline(summary))
     elif args.command == "events":
-        print(render_events(summary))
+        emit(args.format, payload_events(summary),
+             lambda: render_events(summary))
     elif args.command == "blame":
-        print(render_blame(summary))
+        emit(args.format, payload_blame(summary),
+             lambda: render_blame(summary))
     return 0
 
 

@@ -78,6 +78,120 @@ def load_summary(path: Union[str, Path]) -> TraceSummary:
 
 
 # ---------------------------------------------------------------------------
+# machine payloads (--format json)
+# ---------------------------------------------------------------------------
+
+
+def _hist_rows(
+    s: TraceSummary,
+    net: Optional[str] = None,
+    cls: Optional[str] = None,
+) -> List[Dict]:
+    rows = []
+    for (hnet, hcls), hist in sorted(s.hists.items()):
+        if net is not None and hnet != net:
+            continue
+        if cls is not None and hcls != cls:
+            continue
+        rows.append({"net": hnet, "cls": hcls, **hist.summary()})
+    return rows
+
+
+def _fold_stalls(s: TraceSummary):
+    """Aggregate stall records per (net, router) and memory node.
+
+    Shared between the human blame table and the JSON payload so both
+    views always report the same numbers.
+    """
+    routers: Dict[Tuple[str, int], Dict[str, int]] = {}
+    mem_rows: Dict[int, List[int]] = {}
+    for rec in s.stalls:
+        net, rid = rec["net"], rec["router"]
+        if net == "mem":
+            row = mem_rows.setdefault(rid, [0, 0])
+            row[min(1, rec["port"])] += sum(rec["classes"].values())
+            continue
+        agg = routers.setdefault((net, rid), {})
+        for name, n in rec["classes"].items():
+            agg[name] = agg.get(name, 0) + n
+    return routers, mem_rows
+
+
+def payload_report(s: TraceSummary) -> Dict:
+    """The ``report`` view as a JSON-able dict."""
+    payload = {
+        "path": s.path,
+        "meta": dict(s.meta),
+        "records": s.records,
+        "events": {k: v for k, v in s.events.items() if v},
+        "latency": _hist_rows(s),
+        "windows": len(s.windows),
+        "episodes": len(s.episodes),
+    }
+    if s.episodes:
+        payload["worst_episode"] = max(
+            s.episodes, key=lambda e: e.get("severity", 0.0)
+        )
+    return payload
+
+
+def payload_hist(
+    s: TraceSummary,
+    net: Optional[str] = None,
+    cls: Optional[str] = None,
+) -> Dict:
+    """The ``hist`` view: per-(net, class) summaries plus full buckets."""
+    rows = []
+    for (hnet, hcls), hist in sorted(s.hists.items()):
+        if net is not None and hnet != net:
+            continue
+        if cls is not None and hcls != cls:
+            continue
+        rows.append({
+            "net": hnet,
+            "cls": hcls,
+            "summary": hist.summary(),
+            "hist": hist.to_dict(),
+        })
+    return {"path": s.path, "histograms": rows}
+
+
+def payload_timeline(s: TraceSummary) -> Dict:
+    """The ``timeline`` view: the raw per-window records."""
+    return {"path": s.path, "windows": list(s.windows)}
+
+
+def payload_events(s: TraceSummary) -> Dict:
+    """The ``events`` view: the clogging-episode records."""
+    episodes = sorted(s.episodes, key=lambda e: (e["start"], e["node"]))
+    return {"path": s.path, "episodes": episodes}
+
+
+def payload_blame(s: TraceSummary) -> Dict:
+    """The ``blame`` view: per-router stall totals, memory pressure and
+    attributed episodes."""
+    routers, mem_rows = _fold_stalls(s)
+    router_rows = [
+        {"net": net, "router": rid, "total": sum(agg.values()),
+         "classes": dict(agg)}
+        for (net, rid), agg in sorted(
+            routers.items(), key=lambda kv: (-sum(kv[1].values()), kv[0])
+        )
+    ]
+    mem = [
+        {"node": node, "inject_blocked": blocked, "drain_refused": refused}
+        for node, (blocked, refused) in sorted(mem_rows.items())
+    ]
+    return {
+        "path": s.path,
+        "stall_attribution": s.meta.get("stall_attribution", True),
+        "routers": router_rows,
+        "mem": mem,
+        "episodes": sorted(s.episodes, key=lambda e: (e["start"], e["node"])),
+    }
+
+
+# ---------------------------------------------------------------------------
 # renderers
 # ---------------------------------------------------------------------------
 
@@ -193,19 +307,10 @@ def render_blame(s: TraceSummary) -> str:
             return "stall attribution was disabled for this trace"
         return "no stall records in trace (nothing ever blocked)"
     # fold per (net, router) over ports and traffic classes
-    routers: Dict[Tuple[str, int], Dict[str, int]] = {}
-    mem_rows: Dict[int, List[int]] = {}
+    routers, mem_rows = _fold_stalls(s)
     node_total: Dict[int, int] = {}
-    for rec in s.stalls:
-        net, rid = rec["net"], rec["router"]
-        if net == "mem":
-            row = mem_rows.setdefault(rid, [0, 0])
-            row[min(1, rec["port"])] += sum(rec["classes"].values())
-            continue
-        agg = routers.setdefault((net, rid), {})
-        for name, n in rec["classes"].items():
-            agg[name] = agg.get(name, 0) + n
-        node_total[rid] = node_total.get(rid, 0) + sum(rec["classes"].values())
+    for (_net, rid), agg in routers.items():
+        node_total[rid] = node_total.get(rid, 0) + sum(agg.values())
     lines = [f"blame report: {s.path}", ""]
     cols = [c for c in STALL_CLASSES
             if any(c in agg for agg in routers.values())]

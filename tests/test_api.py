@@ -15,12 +15,17 @@ from repro.sim.metrics import SimulationResult
 #: the frozen public surface — editing this list IS the API review.
 #: run_sweep/JobSpec added with the warm-pool + batching runner so
 #: campaign callers get the batch knob without importing repro.sweep.
+#: explore/SearchSpace/ParetoFrontier added with the design-space
+#: exploration subsystem (repro.explore).
 EXPECTED_API = [
     "FaultPlan",
     "JobSpec",
+    "ParetoFrontier",
+    "SearchSpace",
     "SimulationResult",
     "build_system",
     "chaos_plan",
+    "explore",
     "predict",
     "run_simulation",
     "run_sweep",

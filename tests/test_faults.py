@@ -240,3 +240,25 @@ class TestFaultsCli:
         stdout = capsys.readouterr().out
         assert rc == 0
         assert "retransmits" in stdout and "lost" in stdout
+
+    def test_run_emits_json(self, capsys):
+        from repro.faults.__main__ import main
+
+        rc = main(["run", "--gpu", "BP", "--cycles", "600",
+                   "--warmup", "200", "--intensity", "0.1", "--seed", "4",
+                   "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["ok"] is True
+        assert payload["faults"]["lost"] == 0
+        assert payload["plan_events"] > 0
+        assert payload["mechanism"] == "dr"
+
+    def test_sweep_emits_json(self, capsys):
+        from repro.faults.__main__ import main
+
+        rc = main(["sweep", "--benchmarks", "BP", "--cycles", "400",
+                   "--warmup", "200", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["rows"] and "data" in payload

@@ -372,6 +372,44 @@ class TestCli:
         assert "is not a readable trace" in err
         assert len(err.strip().splitlines()) == 1
 
+    def test_readers_emit_json(self, tmp_path, capsys):
+        """Every reader honours the shared --format json switch."""
+        import json
+
+        path = self._make_trace(tmp_path)
+        for cmd in ("report", "hist", "timeline", "events", "blame"):
+            assert telemetry_main([cmd, path, "--format", "json"]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["path"] == path
+
+    def test_report_json_matches_table_numbers(self, tmp_path, capsys):
+        import json
+
+        path = self._make_trace(tmp_path)
+        telemetry_main(["report", path, "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["records"] > 0
+        assert payload["events"].get("deliver", 0) > 0
+        rows = {(r["net"], r["cls"]): r for r in payload["latency"]}
+        assert ("reply", "GPU") in rows
+        assert rows[("reply", "GPU")]["p99"] >= rows[("reply", "GPU")]["p50"]
+
+    def test_blame_json_totals_match_table(self, tmp_path, capsys):
+        import json
+
+        cfg = _traced_config(tmp_path, clog_threshold=0.8,
+                             clog_min_windows=2)
+        run_simulation(cfg, "SC", "bodytrack", cycles=1200, warmup=400)
+        path = cfg.telemetry.trace_path
+        assert telemetry_main(["blame", path, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["routers"]
+        top = payload["routers"][0]
+        assert top["total"] == sum(top["classes"].values())
+        telemetry_main(["blame", path])
+        table = capsys.readouterr().out
+        assert str(top["total"]) in table
+
     def test_load_summary_uses_full_histograms(self, tmp_path):
         # sampled traces still report exact percentiles: the final "hist"
         # records carry the full population, overriding sampled deliveries
