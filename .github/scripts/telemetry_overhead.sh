@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# CI gate: light-mode telemetry must stay cheap enough to leave on.
+#
+# Runs the telemetry_overhead bench (mesh8x8_dr, identical seeded
+# traffic, off vs light vs full, warm-up round then min of per-round
+# paired ratios over interleaved repeats) and fails if
+#   * light-mode overhead_pct >= 10    (the always-on budget), or
+#   * the off and light runs are not bit-identical (telemetry observing
+#     a run must never change it).
+# A noisy shared runner can blow a single timing; one retry keeps the
+# gate strict on the code without gating on the machine's mood.
+# The caller wraps this script in `timeout 90`.
+set -euo pipefail
+
+run_once() {
+  python - <<'EOF'
+import json, sys
+from repro.bench.harness import run_telemetry_overhead
+
+res = run_telemetry_overhead(cycles=1200, repeats=5)
+extra = res.extra
+print(json.dumps(extra, indent=2))
+if not extra["bit_identical"]:
+    print("FAIL: light-mode run is not bit-identical with telemetry off")
+    sys.exit(2)
+if extra["overhead_pct"] >= 10:
+    print(f"FAIL: light-mode overhead {extra['overhead_pct']}% >= 10%")
+    sys.exit(1)
+print(f"telemetry overhead OK: light {extra['overhead_pct']}%, "
+      f"full {extra['full_overhead_pct']}%")
+EOF
+}
+
+if run_once; then
+  exit 0
+fi
+status=$?
+if [ "$status" -eq 2 ]; then
+  # bit-identity is deterministic: no retry, a failure is a real bug
+  exit 2
+fi
+echo "--- overhead above budget; retrying once (noisy runner guard) ---"
+run_once

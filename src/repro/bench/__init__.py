@@ -28,7 +28,14 @@ from repro.bench.harness import (
     BENCH_CONFIGS,
     BenchResult,
     run_bench,
+    run_bench_isolated,
     run_all,
 )
 
-__all__ = ["BENCH_CONFIGS", "BenchResult", "run_bench", "run_all"]
+__all__ = [
+    "BENCH_CONFIGS",
+    "BenchResult",
+    "run_bench",
+    "run_bench_isolated",
+    "run_all",
+]

@@ -32,6 +32,7 @@ import sys
 from repro.bench.harness import (
     BENCH_CONFIGS,
     run_bench,
+    run_bench_isolated,
     run_explore_search,
     run_surrogate_accuracy,
     run_sweep_throughput,
@@ -65,6 +66,10 @@ def main(argv=None) -> int:
                         help="subset of configs to run")
     parser.add_argument("--reference", action="store_true",
                         help="use full-scan reference stepping")
+    parser.add_argument("--no-isolate", action="store_true",
+                        help="run fabric configs in-process instead of one "
+                             "subprocess each (faster, but peak_rss_kb "
+                             "numbers then contaminate each other)")
     add_jobs_option(parser,
                     help="worker processes for the sweep-throughput bench")
     add_out_option(parser, default="BENCH_noc.json",
@@ -110,10 +115,13 @@ def main(argv=None) -> int:
                 cycles=args.cycles or (1000 if args.quick else 4000)
             )
             results[name] = res.as_dict()
+            ident = "" if res.extra["bit_identical"] else ", NOT bit-identical"
             print(
                 f"{name:>12}: {res.cycles_per_sec:>8.1f} cycles/s off, "
-                f"{res.extra['enabled_cycles_per_sec']:.1f} on "
-                f"({res.extra['overhead_pct']:+.1f}%)"
+                f"{res.extra['enabled_cycles_per_sec']:.1f} light "
+                f"({res.extra['overhead_pct']:+.1f}%), "
+                f"{res.extra['full_cycles_per_sec']:.1f} full "
+                f"({res.extra['full_overhead_pct']:+.1f}%){ident}"
             )
             continue
         if name == SWEEP_BENCH:
@@ -138,7 +146,9 @@ def main(argv=None) -> int:
         cycles = args.cycles
         if cycles is None and args.quick:
             cycles = max(200, BENCH_CONFIGS[name][1] // 4)
-        res = run_bench(name, cycles=cycles, reference=args.reference)
+        # one subprocess per config so peak_rss_kb is per-config truth
+        runner = run_bench if args.no_isolate else run_bench_isolated
+        res = runner(name, cycles=cycles, reference=args.reference)
         results[name] = res.as_dict()
         print(
             f"{name:>12}: {res.cycles_per_sec:>8.1f} cycles/s "

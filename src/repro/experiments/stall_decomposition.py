@@ -49,6 +49,7 @@ def _cpu_stalls(
 
     cfg = mechanism_config(mechanism)
     cfg.telemetry.enabled = True          # aggregate-only: no trace file
+    cfg.telemetry.mode = "full"           # exact stall attribution
     cfg.telemetry.stall_attribution = True
     res = run_simulation(cfg, gpu, cpu, cycles=cycles, warmup=warmup)
     return dict(res.stall_breakdown.get("CPU", {}))

@@ -422,6 +422,7 @@ class NocFabric:
         )
         for nic in self.nics:
             nic.telemetry = collector
+            nic.stall_tel = stall_tel
         for net in self._net_list:
             net.telemetry = collector
             net.stall_tel = stall_tel
@@ -431,6 +432,7 @@ class NocFabric:
         self.telemetry = None
         for nic in self.nics:
             nic.telemetry = None
+            nic.stall_tel = None
         for net in self._net_list:
             net.telemetry = None
             net.stall_tel = None

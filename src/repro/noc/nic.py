@@ -52,6 +52,10 @@ class NodeInterface:
         #: attached :class:`~repro.telemetry.collector.TelemetryCollector`
         #: (None when telemetry is disabled; every hook site is one check).
         self.telemetry = None
+        #: the collector again iff stall attribution is on (mode
+        #: ``full``), else None — the per-cycle memory-side stall hooks
+        #: gate on this so light mode pays nothing for them.
+        self.stall_tel = None
         #: attached :class:`~repro.faults.controller.FaultController`
         #: retransmit guard (None unless a fault plan with events is
         #: installed; same single-check gating as telemetry).
@@ -322,8 +326,8 @@ class MemoryNodeNic(NodeInterface):
         self.observed_cycles += 1
         if not self.can_enqueue(NetKind.REPLY):
             self.blocked_cycles += 1
-            if self.telemetry is not None:
-                self.telemetry.on_mem_reply_stall(self.node_id, cycle)
+            if self.stall_tel is not None:
+                self.stall_tel.on_mem_reply_stall(self.node_id, cycle)
 
     def _maybe_delegate(self, cycle: int, replies_moved: bool) -> None:
         if self.delegation_policy is None:

@@ -127,7 +127,7 @@ class MemoryNode:
                 return
             if not self.nic.can_enqueue(NetKind.REPLY):
                 self.stats.reply_backpressure_cycles += 1
-                tel = self.nic.telemetry
+                tel = self.nic.stall_tel
                 if tel is not None:
                     tel.on_reply_backpressure(self.node_id, cycle)
                 return

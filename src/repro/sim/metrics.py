@@ -196,6 +196,11 @@ class SimulationResult:
     #: Empty when telemetry or stall attribution is disabled — kept out of
     #: ``counters`` so traced and untraced runs stay bit-identical there.
     stall_breakdown: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: telemetry metrics-registry snapshot (event counts, windows, clog
+    #: episodes, flight dumps, plus anything subsystems registered).
+    #: Empty when telemetry is disabled — kept out of ``counters`` for
+    #: the same bit-identity reason as ``stall_breakdown``.
+    telemetry_metrics: Dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> Dict:
         """JSON-compatible dict of every field (for the sweep result cache).
@@ -331,4 +336,5 @@ def derive_result(system: HeterogeneousSystem, window: Dict[str, float]) -> Simu
         res.fault_recovery_p99 = fc.recovery_percentile(99)
     if system.telemetry is not None:
         res.stall_breakdown = system.telemetry.stall_breakdown()
+        res.telemetry_metrics = system.telemetry.metrics_snapshot()
     return res

@@ -262,6 +262,8 @@ class JobOutcome:
             shares = stall_shares(self.result.stall_breakdown)
             if shares:
                 d["metrics"]["stall_shares"] = shares
+            if self.result.telemetry_metrics:
+                d["metrics"]["telemetry"] = dict(self.result.telemetry_metrics)
         return d
 
 

@@ -8,10 +8,15 @@ cannot show.  This package adds the missing instruments:
   latency histograms (p50/p95/p99/p99.9 without raw samples); always on
   in the CPU/GPU cores and surfaced through ``SimulationResult``.
 * :class:`~repro.telemetry.collector.TelemetryCollector` — per-packet
-  lifecycle tracing through a :class:`~repro.telemetry.trace.TraceSink`
-  (JSONL or compact binary, with deterministic sampling), windowed
-  link/buffer/injection probes and a clogging-event detector.  Enabled
-  via ``SystemConfig.telemetry``; bit-identical and near-zero-cost when
+  lifecycle events through a packed :class:`~repro.telemetry.ring.EventRing`
+  pipeline (decoded and flushed to a :class:`~repro.telemetry.trace.TraceSink`
+  in deferred batches, with deterministic sampling), windowed
+  link/buffer/injection probes, a clogging-event detector, an always-on
+  flight recorder that dumps the retained ring as ``RDMP`` files when an
+  episode opens or a fault fires, and a
+  :class:`~repro.telemetry.metrics.MetricsRegistry` of cheap named
+  counters/gauges.  Enabled via ``SystemConfig.telemetry``; two tiers
+  (``mode="light"`` / ``"full"``); bit-identical and near-zero-cost when
   disabled.
 * :class:`~repro.telemetry.blame.StallTable` and the blame chain walker —
   per-(router, port, class) stall attribution for every cycle a head worm
@@ -36,6 +41,15 @@ from repro.telemetry.hist import (
     bucket_bounds,
     bucket_index,
 )
+from repro.telemetry.metrics import Counter, Gauge, MetricsRegistry
+from repro.telemetry.ring import (
+    EventRing,
+    merge_events,
+    pack_w0,
+    read_dump,
+    unpack_w0,
+    write_dump,
+)
 from repro.telemetry.report import (
     TraceSummary,
     load_summary,
@@ -59,9 +73,13 @@ __all__ = [
     "BinaryTraceSink",
     "BlameAccumulator",
     "CloggingDetector",
+    "Counter",
     "DEFAULT_SUB_BITS",
+    "EventRing",
+    "Gauge",
     "JsonlTraceSink",
     "LogHistogram",
+    "MetricsRegistry",
     "NullTraceSink",
     "PACKET_EVENTS",
     "STALL_CLASSES",
@@ -73,8 +91,13 @@ __all__ = [
     "bucket_index",
     "classify_head",
     "load_summary",
+    "merge_events",
     "open_sink",
+    "pack_w0",
+    "read_dump",
     "read_trace",
+    "unpack_w0",
+    "write_dump",
     "render_blame",
     "render_events",
     "render_hist",

@@ -63,6 +63,14 @@ def _add_trace_parser(sub) -> None:
     p.add_argument("--probe-interval", type=int, default=200)
     p.add_argument("--clog-threshold", type=float, default=0.9)
     p.add_argument("--clog-min-windows", type=int, default=2)
+    p.add_argument("--mode", choices=("light", "full"), default="full",
+                   help="instrumentation tier; the CLI defaults to full "
+                        "(exact stall attribution for the blame reports) "
+                        "where the config default is light")
+    p.add_argument("--flight-dir", default="",
+                   help="directory for flight-recorder RDMP dumps "
+                        "(written when a clogging episode opens or a "
+                        "fault fires; default: no dumps)")
 
 
 def cmd_trace(args) -> int:
@@ -81,6 +89,8 @@ def cmd_trace(args) -> int:
     tel.probe_interval = args.probe_interval
     tel.clog_threshold = args.clog_threshold
     tel.clog_min_windows = args.clog_min_windows
+    tel.mode = args.mode
+    tel.flight_dir = args.flight_dir
     cpu = args.cpu or cpu_corunners(args.gpu, 1)[0]
     result = run_simulation(
         cfg, args.gpu, cpu, cycles=args.cycles, warmup=args.warmup
@@ -99,6 +109,9 @@ def cmd_trace(args) -> int:
         f"  mem blocking rate {result.mem_blocking_rate:.3f}  "
         f"delegated fraction {result.delegated_fraction:.3f}"
     )
+    if args.flight_dir:
+        dumps = int(result.telemetry_metrics.get("flight.dumps", 0))
+        print(f"  flight dumps: {dumps} -> {args.flight_dir}")
     return 0
 
 

@@ -8,16 +8,26 @@ destination router, delivery, delegation).  Every hook site is a single
 ``is not None`` check when telemetry is disabled, which is what keeps the
 disabled path near-zero-cost and bit-identical to an uninstrumented run.
 
-The collector maintains three kinds of state:
+The *enabled* hot path is a ring-buffer event pipeline
+(:mod:`repro.telemetry.ring`): each hook bumps a preallocated per-code
+counter, folds delivered latencies into preallocated bucket-counter rows
+(no dict lookups, no ``LogHistogram`` objects on the hot path) and
+appends one fixed-width raw tuple to the per-network event ring — a
+single C-level deque append.  Sampling, sink serialisation and dump
+bit-packing all happen in deferred batches at window/finalize
+boundaries.  The ring doubles as a **flight recorder**: it always
+retains the most recent events, and the collector dumps them as a
+packed ``RDMP`` file when the clogging detector *opens* an episode or a
+fault fires.
 
-* per-(network, class) :class:`~repro.telemetry.hist.LogHistogram` of
-  delivered packet latencies — the *full* population, independent of the
-  packet-trace sampling rate;
-* windowed probes (every ``probe_interval`` cycles) of link utilisation,
-  delivered/injected flit rates, router buffer occupancy and per-memory-
-  node reply-buffer pressure, each emitted as a ``win`` trace record;
-* a :class:`CloggingDetector` fed the per-memory-node pressure signal,
-  emitting ``clog`` episode records (start/end/severity) as they close.
+Two instrumentation tiers (``TelemetryConfig.mode``):
+
+* ``"light"`` (default) — rings, histograms, windowed probes, clogging
+  detection with probe-time blame chains, flight recorder, metrics
+  registry.  Cheap enough to leave on everywhere.
+* ``"full"`` — adds exact per-cycle stall attribution (the
+  :class:`~repro.telemetry.blame.StallTable` charged per blocked
+  head-worm cycle), which dominates telemetry cost on saturated meshes.
 
 Everything the collector reads is a counter the simulator already
 maintains; it never mutates simulation state, so enabling telemetry
@@ -26,7 +36,8 @@ cannot change results.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.config.system import TelemetryConfig
 from repro.telemetry.blame import (
@@ -38,10 +49,32 @@ from repro.telemetry.blame import (
     survey_stalls,
 )
 from repro.telemetry.hist import LogHistogram
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.ring import EventRing, merge_events, write_dump
 from repro.telemetry.trace import NullTraceSink, PACKET_EVENTS, open_sink
 
-#: schema version stamped into every trace's ``meta`` record.
-TRACE_SCHEMA = 1
+#: schema version stamped into every trace's ``meta`` record (v2: packed
+#: ring pipeline, ``RDMP`` flight dumps, ``metrics`` in the summary).
+TRACE_SCHEMA = 2
+
+#: counter-array histogram row length: covers every bucket index a
+#: 64-bit latency can map to at the default 2^5 sub-bucket resolution.
+_HIST_BUCKETS = 1920
+
+#: hard cap on flight-recorder dump files per run (noise guard).
+_MAX_FLIGHT_DUMPS = 8
+
+class _EventView:
+    """Mutable packet stand-in for deferred ``sink.packet_event`` calls.
+
+    One instance is reused for every drained ring event — sinks consume
+    the fields synchronously, so no aliasing can be observed.  The enum
+    fields carry the live packet's real enum members (ring tuples store
+    them verbatim), so sinks see exactly what a live Packet gives them.
+    """
+
+    __slots__ = ("pid", "src", "dst", "block", "mtype", "cls", "net",
+                 "size_flits")
 
 
 class CloggingDetector:
@@ -50,7 +83,10 @@ class CloggingDetector:
     A node whose signal is ``>= threshold`` for at least ``min_windows``
     consecutive windows is *clogged*; the episode closes when the signal
     drops below the threshold (or at finalize).  ``severity`` is the mean
-    signal over the episode, ``peak`` its maximum.
+    signal over the episode, ``peak`` its maximum.  The optional
+    ``on_open`` callback fires the moment an episode *opens* (its hot
+    streak first reaches ``min_windows``) — the flight recorder's dump
+    trigger, which cannot wait for the close.
     """
 
     def __init__(self, threshold: float, min_windows: int) -> None:
@@ -59,6 +95,8 @@ class CloggingDetector:
         #: node -> open-episode accumulator
         self._open: Dict[int, Dict[str, float]] = {}
         self.episodes: List[Dict] = []
+        #: called with ``(node, end_cycle)`` when an episode opens.
+        self.on_open: Optional[Callable[[int, int], None]] = None
 
     def update(self, node: int, start: int, end: int, signal: float) -> Optional[Dict]:
         """Feed one window ``[start, end]``; returns an episode if one closed."""
@@ -69,12 +107,16 @@ class CloggingDetector:
                     "start": start, "windows": 1, "sum": signal, "peak": signal,
                     "end": end,
                 }
+                if self.min_windows == 1 and self.on_open is not None:
+                    self.on_open(node, end)
             else:
                 st["windows"] += 1
                 st["sum"] += signal
                 st["end"] = end
                 if signal > st["peak"]:
                     st["peak"] = signal
+                if st["windows"] == self.min_windows and self.on_open is not None:
+                    self.on_open(node, end)
             return None
         if st is not None:
             del self._open[node]
@@ -116,6 +158,10 @@ class TelemetryCollector:
         fabric,
         mem_nodes: Tuple[int, ...] = (),
     ) -> None:
+        if cfg.mode not in ("light", "full"):
+            raise ValueError(
+                f"unknown telemetry mode {cfg.mode!r}; choose light or full"
+            )
         self.cfg = cfg
         self.fabric = fabric
         self.mem_nodes = tuple(mem_nodes)
@@ -128,19 +174,44 @@ class TelemetryCollector:
         rate = min(1.0, max(0.0, cfg.sample_rate))
         self._sample_all = rate >= 1.0
         self._sample_below = int(rate * (1 << 32))
-        #: (net_kind int, class int) -> latency histogram (full population)
-        self.hists: Dict[Tuple[int, int], LogHistogram] = {}
         self.detector = CloggingDetector(cfg.clog_threshold, cfg.clog_min_windows)
-        #: stall attribution (None when cfg.stall_attribution is False):
-        #: per-(net, router, port, class) blocked-head-worm cycle counters
+        self.detector.on_open = self._on_clog_open
+        #: exact stall attribution (None unless ``mode == "full"`` and
+        #: ``stall_attribution``): per-(net, router, port, class)
+        #: blocked-head-worm cycle counters
         self.stalls: Optional[StallTable] = (
-            StallTable() if cfg.stall_attribution else None
+            StallTable()
+            if cfg.mode == "full" and cfg.stall_attribution
+            else None
         )
         self._stall_base: Dict = {}
         #: node -> blame accumulator for its currently-hot episode
         self._blame: Dict[int, BlameAccumulator] = {}
         self.windows: List[Dict] = []
-        self.events: Dict[str, int] = {name: 0 for name in PACKET_EVENTS}
+        #: per-code packet-event counts (indexed like PACKET_EVENTS);
+        #: exact whatever the ring does, because they are bumped at
+        #: append time, not reconstructed from (overwritable) ring slots
+        self._ev: List[int] = [0] * len(PACKET_EVENTS)
+        self._fault_events: Dict[str, int] = {}
+        #: counter-array latency histograms: row per (net, cls) pair,
+        #: indexed ``(net << 1) | cls``; plus exact latency totals
+        self._hist_rows: List[List[int]] = [
+            [0] * _HIST_BUCKETS for _ in range(4)
+        ]
+        self._hist_tot: List[int] = [0, 0, 0, 0]
+        #: bounded event rings (request, reply), or None when neither the
+        #: flight recorder nor a trace sink needs them
+        if cfg.flight_recorder or self._tracing:
+            self._rings: Optional[List[EventRing]] = [
+                EventRing(cfg.ring_events), EventRing(cfg.ring_events)
+            ]
+        else:
+            self._rings = None
+        self._view = _EventView()
+        self._trace_records = 0
+        self._flight_dir = cfg.flight_dir
+        self.flight_dumps: List[str] = []
+        self.metrics = MetricsRegistry()
         self.interval = max(1, int(cfg.probe_interval))
         self._window_start = 0
         self._next_probe = self.interval - 1
@@ -158,17 +229,20 @@ class TelemetryCollector:
         self._prev_blocked = {
             node: fabric.nics[node].blocked_cycles for node in self.mem_nodes
         }
-        meta = {
+        self._meta = meta = {
             "rec": "meta",
             "schema": TRACE_SCHEMA,
             "nodes": fabric.topology.n,
             "mem_nodes": list(self.mem_nodes),
             "separate_networks": fabric.separate_networks,
+            "mode": cfg.mode,
             "sample_rate": rate,
             "probe_interval": self.interval,
             "clog_threshold": cfg.clog_threshold,
             "clog_min_windows": self.detector.min_windows,
             "stall_attribution": self.stalls is not None,
+            "flight_recorder": self._rings is not None and cfg.flight_recorder,
+            "ring_events": self._rings[0].capacity if self._rings else 0,
         }
         width = getattr(fabric.topology, "width", 0)
         height = getattr(fabric.topology, "height", 0)
@@ -181,49 +255,116 @@ class TelemetryCollector:
     def _sampled(self, pid: int) -> bool:
         """Stateless per-packet sampling decision (Knuth hash of the pid),
         so a packet's whole lifecycle is kept or dropped together and the
-        simulation's RNG streams are never perturbed."""
+        simulation's RNG streams are never perturbed.  Applied at ring
+        *drain* time — the hot path appends unconditionally."""
         if self._sample_all:
             return True
         return ((pid * 2654435761) & 0xFFFFFFFF) < self._sample_below
 
     # -- packet lifecycle hooks ----------------------------------------
+    #
+    # Shape of every hook: bump the per-code counter, then (when rings
+    # exist) append one raw fixed-width tuple straight into the deque —
+    # a single C call, no packing, no dicts.  Bit-packing happens only
+    # at dump time (repro.telemetry.ring.write_dump); tracing runs also
+    # maintain the head/drained counters so drains fire before the ring
+    # would evict an unflushed event.
 
     def on_inject(self, pkt, cycle: int) -> None:
         """A NIC accepted ``pkt`` into its injection queue."""
-        self.events["inject"] += 1
-        if self._tracing and self._sampled(pkt.pid):
-            self.sink.packet_event("inject", cycle, pkt)
+        self._ev[0] += 1
+        rings = self._rings
+        if rings is not None:
+            ring = rings[pkt.net]
+            ring.events.append(
+                (0, pkt.mtype, pkt.cls, pkt.net, pkt.size_flits,
+                 pkt.src, pkt.dst, cycle, pkt.pid, pkt.block, -1)
+            )
+            if self._tracing:
+                ring.head += 1
+                if ring.head - ring.drained >= ring.capacity:
+                    self._drain_events()
 
     def on_vc_alloc(self, pkt, cycle: int, vc: int) -> None:
         """``pkt``'s header won an injection VC and entered the network."""
-        self.events["vc_alloc"] += 1
-        if self._tracing and self._sampled(pkt.pid):
-            self.sink.packet_event("vc_alloc", cycle, pkt, value=vc)
+        self._ev[1] += 1
+        rings = self._rings
+        if rings is not None:
+            ring = rings[pkt.net]
+            ring.events.append(
+                (1, pkt.mtype, pkt.cls, pkt.net, pkt.size_flits,
+                 pkt.src, pkt.dst, cycle, pkt.pid, pkt.block, vc)
+            )
+            if self._tracing:
+                ring.head += 1
+                if ring.head - ring.drained >= ring.capacity:
+                    self._drain_events()
 
     def on_head(self, pkt, cycle: int) -> None:
         """``pkt``'s header flit reached its destination router."""
-        self.events["head"] += 1
-        if self._tracing and self._sampled(pkt.pid):
-            self.sink.packet_event("head", cycle, pkt)
+        self._ev[2] += 1
+        rings = self._rings
+        if rings is not None:
+            ring = rings[pkt.net]
+            ring.events.append(
+                (2, pkt.mtype, pkt.cls, pkt.net, pkt.size_flits,
+                 pkt.src, pkt.dst, cycle, pkt.pid, pkt.block, -1)
+            )
+            if self._tracing:
+                ring.head += 1
+                if ring.head - ring.drained >= ring.capacity:
+                    self._drain_events()
 
     def on_deliver(self, pkt, cycle: int) -> None:
         """``pkt`` fully ejected at its destination NIC."""
-        self.events["deliver"] += 1
-        latency = cycle - pkt.created if pkt.created >= 0 else 0
-        key = (int(pkt.net), int(pkt.cls))
-        hist = self.hists.get(key)
-        if hist is None:
-            hist = self.hists[key] = LogHistogram()
-        hist.record(latency)
-        if self._tracing and self._sampled(pkt.pid):
-            self.sink.packet_event("deliver", cycle, pkt, value=latency)
+        self._ev[3] += 1
+        latency = cycle - pkt.created
+        if latency < 0 or pkt.created < 0:
+            latency = 0
+        # inline bucket_index(latency) on the preallocated counter row
+        key = (pkt.net << 1) | pkt.cls
+        row = self._hist_rows[key]
+        if latency < 64:
+            row[latency] += 1
+        else:
+            shift = latency.bit_length() - 6
+            row[((shift + 1) << 5) + ((latency >> shift) & 31)] += 1
+        self._hist_tot[key] += latency
+        rings = self._rings
+        if rings is not None:
+            ring = rings[pkt.net]
+            ring.events.append(
+                (3, pkt.mtype, pkt.cls, pkt.net, pkt.size_flits,
+                 pkt.src, pkt.dst, cycle, pkt.pid, pkt.block, latency)
+            )
+            if self._tracing:
+                ring.head += 1
+                if ring.head - ring.drained >= ring.capacity:
+                    self._drain_events()
 
     def on_delegate(self, reply, delegated, cycle: int) -> None:
         """A memory node converted ``reply`` into ``delegated`` (1-flit
         delegated request); the trace value is the delegate target node."""
-        self.events["delegate"] += 1
-        if self._tracing and self._sampled(reply.pid):
-            self.sink.packet_event("delegate", cycle, reply, value=delegated.dst)
+        self._ev[4] += 1
+        rings = self._rings
+        if rings is not None:
+            ring = rings[reply.net]
+            ring.events.append(
+                (4, reply.mtype, reply.cls, reply.net, reply.size_flits,
+                 reply.src, reply.dst, cycle, reply.pid, reply.block,
+                 delegated.dst)
+            )
+            if self._tracing:
+                ring.head += 1
+                if ring.head - ring.drained >= ring.capacity:
+                    self._drain_events()
+
+    @property
+    def events(self) -> Dict[str, int]:
+        """Event counts: the five lifecycle events plus any fault events."""
+        out = {name: self._ev[i] for i, name in enumerate(PACKET_EVENTS)}
+        out.update(self._fault_events)
+        return out
 
     # -- fault-injection hooks (repro.faults) ---------------------------
 
@@ -232,15 +373,20 @@ class TelemetryCollector:
 
         ``rec`` is a complete trace record (``rec="fault"``) whose
         ``fault`` key names the event (``flit_drop`` / ``flit_corrupt`` /
-        ``fault_stall``); it is counted in :attr:`events` and written to
-        the trace sink unsampled — faults are rare and every one matters.
+        ``fault_stall``); it is counted in :attr:`events`, written to the
+        trace sink unsampled (faults are rare and every one matters) and
+        — first occurrence per run — triggers a flight-recorder dump of
+        the events leading up to it.
         """
         name = rec.get("fault", "fault")
-        self.events[name] = self.events.get(name, 0) + 1
+        first = name not in self._fault_events
+        self._fault_events[name] = self._fault_events.get(name, 0) + 1
         if self._tracing:
             self.sink.record(rec)
+        if first:
+            self._flight_dump(f"fault-{name}", rec.get("cycle", -1))
 
-    # -- stall-attribution hooks ----------------------------------------
+    # -- stall-attribution hooks (mode == "full" only) -------------------
 
     def on_stall(self, router, port: int, vc: int, pkt, klass: int, cycle: int) -> None:
         """Head worm of ``router``'s input VC ``(port, vc)`` is blocked on
@@ -272,6 +418,88 @@ class TelemetryCollector:
         if st is not None:
             st.charge("mem", node, 1, ANY_CLS, REPLY_BUFFER)
 
+    # -- deferred ring drains and flight dumps ---------------------------
+
+    def _drain_events(self) -> None:
+        """Flush undrained ring events to the trace sink, in cycle order.
+
+        Called at window/finalize boundaries, and from the hooks when a
+        tracing ring is about to overwrite an undrained slot — so a
+        traced run loses nothing to ring wraparound.  Sampling happens
+        here, off the hot path.
+        """
+        rings = self._rings
+        if rings is None or not self._tracing:
+            return
+        batches = [b for b in (ring.take_pending() for ring in rings) if b]
+        if not batches:
+            return
+        sink = self.sink
+        view = self._view
+        sample_all = self._sample_all
+        below = self._sample_below
+        written = 0
+        for ev in merge_events(*batches):
+            pid = ev[8]
+            if not sample_all and ((pid * 2654435761) & 0xFFFFFFFF) >= below:
+                continue
+            view.pid = pid
+            view.mtype = ev[1]
+            view.cls = ev[2]
+            view.net = ev[3]
+            view.size_flits = ev[4]
+            view.src = ev[5]
+            view.dst = ev[6]
+            view.block = ev[9]
+            sink.packet_event(PACKET_EVENTS[ev[0]], ev[7], view, value=ev[10])
+            written += 1
+        self._trace_records += written
+
+    def _on_clog_open(self, node: int, cycle: int) -> None:
+        """Detector callback: a node's hot streak reached ``min_windows``."""
+        self._flight_dump("clog", cycle, node=node)
+
+    def _flight_dump(self, trigger: str, cycle: int,
+                     node: Optional[int] = None) -> Optional[str]:
+        """Dump the retained ring events as one ``RDMP`` file.
+
+        No-op unless the flight recorder is on and ``flight_dir`` is set;
+        at most :data:`_MAX_FLIGHT_DUMPS` files per run.  Returns the
+        dump path (also appended to :attr:`flight_dumps`) or None.
+        """
+        rings = self._rings
+        if (
+            rings is None
+            or not self.cfg.flight_recorder
+            or not self._flight_dir
+            or len(self.flight_dumps) >= _MAX_FLIGHT_DUMPS
+        ):
+            return None
+        events = merge_events(*(r.snapshot() for r in rings))
+        meta = dict(self._meta)
+        meta.update(
+            {
+                "dump": trigger,
+                "dump_cycle": cycle,
+                "events_retained": len(events),
+            }
+        )
+        if node is not None:
+            meta["dump_node"] = node
+        suffix = "" if node is None else f"-n{node}"
+        directory = Path(self._flight_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"flight-c{cycle}-{trigger}{suffix}.rdmp"
+        write_dump(path, meta, events, TRACE_SCHEMA)
+        self.flight_dumps.append(str(path))
+        self.metrics.counter("flight.dumps").inc()
+        if self._tracing:
+            self.sink.record(
+                {"rec": "flight", "trigger": trigger, "cycle": cycle,
+                 "node": node, "path": str(path)}
+            )
+        return str(path)
+
     # -- windowed probes -------------------------------------------------
 
     def on_cycle(self, cycle: int) -> None:
@@ -281,6 +509,10 @@ class TelemetryCollector:
             self._next_probe = cycle + self.interval
 
     def _probe(self, cycle: int) -> None:
+        if self._tracing:
+            # batch boundary: packet events stream out before the window
+            # record that closes over them
+            self._drain_events()
         interval = max(1, cycle - self._window_start + 1)
         record: Dict = {
             "rec": "win",
@@ -328,9 +560,11 @@ class TelemetryCollector:
             signals[node] = max(occupancy, blocked)
         # one blame survey per probe covers every hot node: walk all
         # blocked head worms once, then fold the chains into each hot
-        # node's accumulator so a closing episode can name its root cause
+        # node's accumulator so a closing episode can name its root cause.
+        # The survey is read-only and windowed, so it runs in light mode
+        # too — episodes carry root causes even without the StallTable.
         hot = [n for n, s in signals.items() if s >= self.detector.threshold]
-        if hot and self.stalls is not None:
+        if hot:
             groups = survey_stalls(self._nets, cycle)
             for node in hot:
                 acc = self._blame.get(node)
@@ -371,7 +605,8 @@ class TelemetryCollector:
         ``{"CPU" | "GPU" | "mem": {stall class: cycles}}`` — CPU/GPU rows
         sum the router-side counters over the victim worm's traffic
         class; the ``mem`` row carries the memory-side reply-buffer
-        pressure counters.  Empty when stall attribution is off.
+        pressure counters.  Empty when stall attribution is off (always
+        in ``light`` mode).
         """
         st = self.stalls
         if st is None:
@@ -392,14 +627,45 @@ class TelemetryCollector:
     # -- end of run -------------------------------------------------------
 
     def latency_histogram(self, net: int, cls: int) -> LogHistogram:
-        """The (possibly empty) histogram for one (net, class) pair."""
-        return self.hists.get((int(net), int(cls)), LogHistogram())
+        """The (possibly empty) histogram for one (net, class) pair.
+
+        Rebuilt on demand from the counter-array row: bucket counts and
+        the total are exact; min/max carry bucket resolution.
+        """
+        return self._row_histogram((int(net) << 1) | int(cls))
+
+    def _row_histogram(self, key: int) -> LogHistogram:
+        row = self._hist_rows[key]
+        hist = LogHistogram.from_sparse(
+            {idx: n for idx, n in enumerate(row) if n}
+        )
+        hist.total = self._hist_tot[key]
+        return hist
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """Flat metrics dict: registered counters/gauges plus the
+        collector's own built-ins (event counts, windows, episodes,
+        flight dumps, trace records)."""
+        m = self.metrics
+        for i, name in enumerate(PACKET_EVENTS):
+            m.gauge(f"events.{name}").set(self._ev[i])
+        for name, n in self._fault_events.items():
+            m.gauge(f"events.{name}").set(n)
+        m.gauge("windows").set(len(self.windows))
+        m.gauge("clog_episodes").set(len(self.detector.episodes))
+        m.gauge("trace_records").set(self._trace_records)
+        rings = self._rings
+        if rings is not None:
+            m.gauge("ring_retained").set(sum(len(r) for r in rings))
+        return m.snapshot()
 
     def finalize(self, cycle: int) -> None:
-        """Flush open episodes, write histogram + summary records, close."""
+        """Flush rings and open episodes, write histogram + summary
+        records, close the sink."""
         if self._finalized:
             return
         self._finalized = True
+        self._drain_events()
         st = self.stalls
         if st is not None:
             st.flush(cycle)
@@ -408,13 +674,16 @@ class TelemetryCollector:
             if acc is not None:
                 episode["root_cause"] = acc.root_cause()
             self.sink.record(episode)
-        for (net, cls), hist in sorted(self.hists.items()):
+        for key in range(4):
+            hist = self._row_histogram(key)
+            if not hist.count:
+                continue
             payload = hist.to_dict()
             payload.update(
                 {
                     "rec": "hist",
-                    "net": "request" if net == 0 else "reply",
-                    "cls": "CPU" if cls == 0 else "GPU",
+                    "net": "request" if (key >> 1) == 0 else "reply",
+                    "cls": "CPU" if (key & 1) == 0 else "GPU",
                 }
             )
             self.sink.record(payload)
@@ -440,9 +709,10 @@ class TelemetryCollector:
             {
                 "rec": "summary",
                 "cycle": cycle,
-                "events": dict(self.events),
+                "events": self.events,
                 "windows": len(self.windows),
                 "episodes": len(self.detector.episodes),
+                "metrics": self.metrics_snapshot(),
             }
         )
         self.sink.close()

@@ -1,0 +1,84 @@
+"""A small registry of cheap named counters and gauges.
+
+Subsystems that want a number in ``SimulationResult`` and sweep
+manifests without growing the counter-snapshot machinery register it
+here: a :class:`Counter` or :class:`Gauge` handle is one attribute
+lookup plus an integer add to update, and :meth:`MetricsRegistry.snapshot`
+folds every registered metric into one plain dict at the end of a run.
+
+Metrics are observability state, never simulation state: they live on
+the :class:`~repro.telemetry.collector.TelemetryCollector`, flow into
+``SimulationResult.telemetry_metrics`` (kept out of ``counters`` so the
+telemetry-on/off bit-identity guarantee is untouched) and into the
+``metrics.telemetry`` block of sweep manifests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A named point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+
+class MetricsRegistry:
+    """Named counters/gauges with one flat snapshot at the end of a run."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Union[Counter, Gauge]] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name`` (idempotent)."""
+        m = self._metrics.get(name)
+        if m is None:
+            m = self._metrics[name] = Counter(name)
+        elif not isinstance(m, Counter):
+            raise TypeError(f"metric {name!r} is a {type(m).__name__}, "
+                            "not a Counter")
+        return m
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name`` (idempotent)."""
+        m = self._metrics.get(name)
+        if m is None:
+            m = self._metrics[name] = Gauge(name)
+        elif not isinstance(m, Gauge):
+            raise TypeError(f"metric {name!r} is a {type(m).__name__}, "
+                            "not a Gauge")
+        return m
+
+    def snapshot(self) -> Dict[str, Number]:
+        """``{name: value}`` for every registered metric, sorted by name."""
+        return {name: self._metrics[name].value
+                for name in sorted(self._metrics)}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics

@@ -13,8 +13,9 @@ backends implement the same :class:`TraceSink` protocol:
   blobs.  ~6x smaller than JSONL for packet-dominated traces.
 
 :func:`read_trace` auto-detects the backend from the file's magic and
-yields identical dicts for both, so every consumer (the CLI, tests,
-notebooks) is backend-agnostic.
+yields identical dicts for both — plus a third format, the ``RDMP``
+flight-recorder ring dumps of :mod:`repro.telemetry.ring` — so every
+consumer (the CLI, tests, notebooks) is backend-agnostic.
 """
 
 from __future__ import annotations
@@ -205,17 +206,52 @@ def _read_binary(fh: IO[bytes]) -> Iterator[Dict[str, Any]]:
 
 
 def read_trace(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
-    """Yield every record of a trace file, whatever its backend."""
+    """Yield every record of a trace file, whatever its backend.
+
+    Auto-detects the three on-disk formats from the file's magic: ``RTEL``
+    packed binary traces, ``RDMP`` ring/flight-recorder dumps and (the
+    fallback) JSONL.  Unknown schema versions raise ``ValueError`` with a
+    one-line diagnosis — the CLI surfaces it as an ``error:`` line.
+    """
+    # the dump reader is imported lazily, mirroring the enum-name imports:
+    # plain-JSONL consumers stay importable without the ring module
+    from repro.telemetry.ring import DUMP_MAGIC, read_dump
+
     path = Path(path)
     with open(path, "rb") as probe:
-        head = probe.read(len(MAGIC))
-    if head == MAGIC:
+        head = probe.read(max(len(MAGIC), len(DUMP_MAGIC)))
+    if head[: len(MAGIC)] == MAGIC:
         with open(path, "rb") as fh:
-            fh.read(len(MAGIC) + 2)  # magic + version
+            fh.read(len(MAGIC))
+            (version,) = struct.unpack("<H", fh.read(2))
+            if version != VERSION:
+                raise ValueError(
+                    f"RTEL trace version v{version} is not supported "
+                    f"(this reader speaks v{VERSION})"
+                )
             yield from _read_binary(fh)
         return
+    if head[: len(DUMP_MAGIC)] == DUMP_MAGIC:
+        from repro.telemetry.collector import TRACE_SCHEMA
+
+        yield from read_dump(path, max_schema=TRACE_SCHEMA)
+        return
     with open(path) as fh:
+        first = True
         for line in fh:
             line = line.strip()
-            if line:
-                yield json.loads(line)
+            if not line:
+                continue
+            record = json.loads(line)
+            if first:
+                first = False
+                if record.get("rec") == "meta":
+                    from repro.telemetry.collector import TRACE_SCHEMA
+
+                    schema = record.get("schema", 1)
+                    if isinstance(schema, int) and schema > TRACE_SCHEMA:
+                        raise ValueError(
+                            f"trace schema v{schema} is newer than this "
+                            f"reader (supports <= v{TRACE_SCHEMA})"
+                        )
+            yield record

@@ -44,7 +44,7 @@ EXPECTED_RESULT_FIELDS = {
     "noc_request_packets",
     "fault_retransmits", "fault_lost",
     "fault_recovery_p50", "fault_recovery_p99",
-    "stall_breakdown",
+    "stall_breakdown", "telemetry_metrics",
 }
 
 

@@ -119,6 +119,7 @@ def _stalled_system(reference=False):
     """SC/bodytrack on the small mesh: the canonical clogging workload."""
     cfg = small_config()
     cfg.telemetry.enabled = True
+    cfg.telemetry.mode = "full"
     cfg.telemetry.probe_interval = 100
     system = build_system(cfg, "SC", "bodytrack")
     if reference:
@@ -215,6 +216,7 @@ class TestBreakdown:
     def test_enabled_run_reports_cpu_and_gpu_groups(self):
         cfg = small_config()
         cfg.telemetry.enabled = True
+        cfg.telemetry.mode = "full"
         res = run_simulation(cfg, "SC", "bodytrack", cycles=400, warmup=200)
         assert set(res.stall_breakdown) >= {"CPU", "GPU"}
         for group, classes in res.stall_breakdown.items():
@@ -225,6 +227,7 @@ class TestBreakdown:
     def test_breakdown_excludes_warmup(self):
         cfg = small_config()
         cfg.telemetry.enabled = True
+        cfg.telemetry.mode = "full"
         long = run_simulation(cfg, "SC", "bodytrack", cycles=400, warmup=200)
         short = run_simulation(cfg, "SC", "bodytrack", cycles=100, warmup=200)
         total = lambda r: sum(
@@ -353,6 +356,7 @@ class TestEpisodeRootCause:
         # carry root_cause records naming a memory node's reply buffer
         cfg = small_config()
         cfg.telemetry.enabled = True
+        cfg.telemetry.mode = "full"
         cfg.telemetry.trace_path = str(tmp_path / "trace.jsonl")
         cfg.telemetry.probe_interval = 100
         cfg.telemetry.clog_threshold = 0.8

@@ -1,30 +1,41 @@
 """Tests for repro.telemetry: histograms, tracing, collector, CLI.
 
-Covers the three subsystem layers (bucketed histograms, trace sinks,
-collector/detector), the simulator integration (bit-identical results
+Covers the subsystem layers (bucketed histograms, event rings and
+``RDMP`` dumps, trace sinks, metrics registry, collector/detector with
+the flight recorder), the simulator integration (bit-identical results
 with telemetry on vs. off, percentile accuracy against exact samples)
-and the ``python -m repro.telemetry`` reader CLI.
+and the ``python -m repro.telemetry`` reader CLI, including one-line
+errors on unknown trace versions.
 """
 
 import json
+import struct
+
+import pytest
 
 from repro.config import SystemConfig, TelemetryConfig
 from repro.config.loader import config_from_dict
-from repro.noc.packet import MessageType, Packet, TrafficClass
+from repro.noc.packet import MessageType, NetKind, Packet, TrafficClass
 from repro.sim.metrics import collect_counters, derive_result
 from repro.sim.simulator import build_system, run_simulation
 from repro.sweep.jobs import JobSpec
 from repro.telemetry import (
     CloggingDetector,
+    EventRing,
     LogHistogram,
+    MetricsRegistry,
     TelemetryCollector,
     bucket_bounds,
     bucket_index,
     load_summary,
+    merge_events,
+    pack_w0,
     read_trace,
+    unpack_w0,
+    write_dump,
 )
 from repro.telemetry.__main__ import main as telemetry_main
-from repro.telemetry.trace import BinaryTraceSink, JsonlTraceSink
+from repro.telemetry.trace import MAGIC, BinaryTraceSink, JsonlTraceSink
 
 import sys
 sys.path.insert(0, "tests")
@@ -217,6 +228,159 @@ class TestCloggingDetector:
         assert det.update(2, 0, 99, 0.1) is None
         assert len(det.flush()) == 1
 
+    def test_signal_exactly_at_threshold_is_hot(self):
+        det = CloggingDetector(threshold=0.9, min_windows=1)
+        det.update(1, 0, 99, 0.9)
+        assert len(det.flush()) == 1
+
+    def test_streak_one_short_of_min_windows_is_no_episode(self):
+        det = CloggingDetector(threshold=0.5, min_windows=3)
+        det.update(1, 0, 99, 0.9)
+        det.update(1, 100, 199, 0.9)
+        assert det.update(1, 200, 299, 0.1) is None
+        assert det.flush() == [] and det.episodes == []
+
+    def test_on_open_fires_once_when_streak_reaches_min_windows(self):
+        det = CloggingDetector(threshold=0.5, min_windows=2)
+        opened = []
+        det.on_open = lambda node, cycle: opened.append((node, cycle))
+        det.update(3, 0, 99, 0.8)
+        assert opened == []
+        det.update(3, 100, 199, 0.9)
+        assert opened == [(3, 199)]
+        det.update(3, 200, 299, 0.9)  # same episode: no second open
+        assert opened == [(3, 199)]
+
+    def test_on_open_fires_immediately_for_min_windows_one(self):
+        det = CloggingDetector(threshold=0.5, min_windows=1)
+        opened = []
+        det.on_open = lambda node, cycle: opened.append((node, cycle))
+        det.update(7, 0, 99, 0.6)
+        assert opened == [(7, 99)]
+
+    def test_short_blip_never_opens(self):
+        det = CloggingDetector(threshold=0.5, min_windows=3)
+        opened = []
+        det.on_open = lambda node, cycle: opened.append((node, cycle))
+        det.update(1, 0, 99, 0.9)
+        det.update(1, 100, 199, 0.9)
+        det.update(1, 200, 299, 0.1)
+        assert opened == []
+
+
+def _ring_event(cycle, pid=1, code=0, value=-1):
+    """A raw ring tuple shaped like the collector's hook appends."""
+    return (code, MessageType.READ_REQ, TrafficClass.CPU, NetKind.REQUEST,
+            1, 2, 9, cycle, pid, 0x80, value)
+
+
+class TestEventRing:
+    def test_bounded_retention(self):
+        ring = EventRing(4)
+        for i in range(7):
+            ring.events.append(_ring_event(i))
+        assert len(ring) == 4
+        assert [e[7] for e in ring.snapshot()] == [3, 4, 5, 6]
+
+    def test_take_pending_marks_drained(self):
+        ring = EventRing(8)
+        for i in range(3):
+            ring.events.append(_ring_event(i))
+            ring.head += 1
+        assert [e[7] for e in ring.take_pending()] == [0, 1, 2]
+        assert ring.take_pending() == []
+        ring.events.append(_ring_event(9))
+        ring.head += 1
+        assert [e[7] for e in ring.take_pending()] == [9]
+
+    def test_take_pending_keeps_flight_retention(self):
+        ring = EventRing(8)
+        for i in range(3):
+            ring.events.append(_ring_event(i))
+            ring.head += 1
+        ring.take_pending()
+        # drained events stay in the deque: the flight recorder still
+        # sees them until capacity evicts them
+        assert [e[7] for e in ring.snapshot()] == [0, 1, 2]
+
+    def test_pack_round_trip_extremes(self):
+        for fields in ((0, 0, 0, 0, 0, 0, 0),
+                       (4, 17, 1, 1, 4095, 0xFFFFF, 0xFFFFF)):
+            w0 = pack_w0(*fields)
+            assert unpack_w0(w0) == fields
+            assert 0 <= w0 < (1 << 63)  # sign bit clear: safe as i64
+
+    def test_merge_is_cycle_ordered_and_stable(self):
+        req = [_ring_event(1, pid=1), _ring_event(5, pid=2)]
+        rep = [_ring_event(1, pid=3), _ring_event(4, pid=4)]
+        merged = merge_events(req, rep)
+        assert [e[7] for e in merged] == [1, 1, 4, 5]
+        # ties keep batch order: request-net before reply-net
+        assert [e[8] for e in merged] == [1, 3, 4, 2]
+
+    def test_dump_round_trip_via_read_trace(self, tmp_path):
+        path = tmp_path / "ring.rdmp"
+        write_dump(path, {"nodes": 16, "dump": "clog"},
+                   [_ring_event(200, pid=42),
+                    _ring_event(210, pid=99, code=3, value=17)],
+                   schema=2)
+        recs = list(read_trace(str(path)))
+        assert recs[0]["rec"] == "meta"
+        assert recs[0]["schema"] == 2 and recs[0]["dump"] == "clog"
+        assert recs[1] == {
+            "ev": "inject", "cycle": 200, "pid": 42, "src": 2, "dst": 9,
+            "block": 0x80, "mtype": "READ_REQ", "cls": "CPU",
+            "net": "request", "flits": 1,
+        }
+        assert recs[2]["ev"] == "deliver" and recs[2]["value"] == 17
+
+    def test_dump_truncated_tail_stops_cleanly(self, tmp_path):
+        path = tmp_path / "torn.rdmp"
+        write_dump(path, {}, [_ring_event(c) for c in range(4)], schema=2)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-13])  # tear the last packed event
+        recs = list(read_trace(str(path)))
+        assert [r["cycle"] for r in recs[1:]] == [0, 1, 2]
+
+    def test_dump_bad_magic_raises(self, tmp_path):
+        from repro.telemetry import read_dump
+
+        path = tmp_path / "bad.rdmp"
+        path.write_bytes(b"XXXX not a dump")
+        # read_dump itself rejects the magic; read_trace's auto-detection
+        # would instead fall through to the JSONL reader (and its own
+        # one-line "not a readable trace" ValueError)
+        with pytest.raises(ValueError, match="bad magic"):
+            list(read_dump(str(path), max_schema=2))
+        with pytest.raises(ValueError):
+            list(read_trace(str(path)))
+
+
+class TestMetricsRegistry:
+    def test_counter_and_gauge(self):
+        m = MetricsRegistry()
+        m.counter("flight.dumps").inc()
+        m.counter("flight.dumps").inc(2)
+        m.gauge("ring_retained").set(17)
+        assert m.snapshot() == {"flight.dumps": 3, "ring_retained": 17}
+
+    def test_get_or_create_is_idempotent(self):
+        m = MetricsRegistry()
+        assert m.counter("x") is m.counter("x")
+        assert len(m) == 1 and "x" in m
+
+    def test_kind_mismatch_raises(self):
+        m = MetricsRegistry()
+        m.counter("x")
+        with pytest.raises(TypeError):
+            m.gauge("x")
+
+    def test_snapshot_is_sorted(self):
+        m = MetricsRegistry()
+        m.gauge("zeta").set(1)
+        m.counter("alpha").inc()
+        assert list(m.snapshot()) == ["alpha", "zeta"]
+
 
 def _traced_config(tmp_path, fmt="jsonl", **tel):
     cfg = small_config()
@@ -248,7 +412,7 @@ class TestIntegration:
         for rec in recs:
             k = rec.get("rec", rec.get("ev"))
             kinds[k] = kinds.get(k, 0) + 1
-        assert recs[0]["rec"] == "meta" and recs[0]["schema"] == 1
+        assert recs[0]["rec"] == "meta" and recs[0]["schema"] == 2
         assert kinds.get("win", 0) >= 5
         assert kinds.get("deliver", 0) > 0
         assert kinds.get("hist", 0) >= 2  # at least CPU+GPU reply classes
@@ -297,6 +461,130 @@ class TestIntegration:
         recs = list(read_trace(cfg.telemetry.trace_path))
         assert any(r.get("rec") == "clog" for r in recs)
 
+    def test_result_carries_metrics_snapshot(self):
+        cfg = small_config()
+        cfg.telemetry.enabled = True
+        res = run_simulation(cfg, "SC", "bodytrack", cycles=400, warmup=200)
+        assert res.telemetry_metrics["events.deliver"] > 0
+        assert "windows" in res.telemetry_metrics
+        base = run_simulation(small_config(), "SC", "bodytrack",
+                              cycles=400, warmup=200)
+        assert base.telemetry_metrics == {}
+        # metrics ride along but never leak into the bit-identity surface
+        assert res.counters == base.counters
+
+    def test_sweep_manifest_carries_telemetry_metrics(self):
+        from repro.sweep.runner import JobOutcome
+
+        cfg = small_config()
+        cfg.telemetry.enabled = True
+        spec = JobSpec.make(cfg, "SC", "bodytrack", cycles=400, warmup=200)
+        res = run_simulation(cfg, "SC", "bodytrack", cycles=400, warmup=200)
+        d = JobOutcome(spec=spec, key=spec.key(), status="ok",
+                       result=res).as_dict()
+        assert d["metrics"]["telemetry"]["events.deliver"] > 0
+
+
+class TestFlightRecorder:
+    def test_dump_on_clog_open(self, tmp_path):
+        flights = tmp_path / "flights"
+        cfg = _traced_config(tmp_path, clog_threshold=0.8,
+                             clog_min_windows=2, flight_dir=str(flights))
+        run_simulation(cfg, "SC", "bodytrack", cycles=1200, warmup=400)
+        dumps = sorted(flights.glob("flight-*-clog*.rdmp"))
+        assert dumps, "clog episode opened but no flight dump written"
+        recs = list(read_trace(str(dumps[0])))
+        meta, events = recs[0], recs[1:]
+        assert meta["dump"] == "clog" and "dump_node" in meta
+        assert meta["events_retained"] == len(events) > 0
+        cycles = [r["cycle"] for r in events]
+        assert cycles == sorted(cycles)
+        assert cycles[-1] <= meta["dump_cycle"]
+        # the main trace names every dump file it wrote
+        flight_recs = [r for r in read_trace(cfg.telemetry.trace_path)
+                       if r.get("rec") == "flight"]
+        assert {r["path"] for r in flight_recs} >= {str(p) for p in dumps}
+
+    def test_fault_dump_on_first_occurrence_only(self, tmp_path):
+        cfg = _traced_config(tmp_path, flight_dir=str(tmp_path / "fl"))
+        system = build_system(cfg, "SC", "bodytrack")
+        system.run(100)
+        tel = system.telemetry
+        tel.on_fault_event({"rec": "fault", "fault": "flit_drop",
+                            "cycle": 60})
+        tel.on_fault_event({"rec": "fault", "fault": "flit_drop",
+                            "cycle": 70})
+        assert tel.events["flit_drop"] == 2
+        fault_dumps = [p for p in tel.flight_dumps if "fault-flit_drop" in p]
+        assert len(fault_dumps) == 1
+        recs = list(read_trace(fault_dumps[0]))
+        assert recs[0]["dump"] == "fault-flit_drop"
+        assert recs[0]["dump_cycle"] == 60
+        assert len(recs) > 1  # lead-up events decode
+
+    def test_dump_count_is_capped(self, tmp_path):
+        cfg = _traced_config(tmp_path, flight_dir=str(tmp_path / "fl"),
+                             clog_threshold=2.0)  # never clog-dump
+        system = build_system(cfg, "SC", "bodytrack")
+        system.run(50)
+        tel = system.telemetry
+        for i in range(12):
+            tel.on_fault_event({"rec": "fault", "fault": f"f{i}",
+                                "cycle": 50 + i})
+        assert len(tel.flight_dumps) == 8
+
+    def test_no_dir_retains_but_never_writes(self, tmp_path):
+        cfg = _traced_config(tmp_path, clog_threshold=0.8,
+                             clog_min_windows=2)  # flight_dir unset
+        res = run_simulation(cfg, "SC", "bodytrack", cycles=1200, warmup=400)
+        assert res.telemetry_metrics.get("flight.dumps", 0) == 0
+        assert res.telemetry_metrics["ring_retained"] > 0
+
+
+class TestReaderVersions:
+    def test_rtel_future_version_is_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "future.rtel"
+        path.write_bytes(MAGIC + struct.pack("<H", 99))
+        with pytest.raises(ValueError, match="v99 is not supported"):
+            list(read_trace(str(path)))
+        assert telemetry_main(["report", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "v99" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_rdmp_future_schema_is_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "future.rdmp"
+        write_dump(path, {"nodes": 4}, [], schema=99)
+        with pytest.raises(ValueError, match="newer than this reader"):
+            list(read_trace(str(path)))
+        assert telemetry_main(["events", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "v99" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_jsonl_future_schema_is_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps({"rec": "meta", "schema": 99}) + "\n")
+        with pytest.raises(ValueError, match="newer than this reader"):
+            list(read_trace(str(path)))
+        assert telemetry_main(["report", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "v99" in err or "99" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_current_formats_all_read(self, tmp_path):
+        # RTEL and JSONL via a traced run, RDMP via a ring dump: one
+        # read_trace auto-detects all three
+        for fmt in ("jsonl", "bin"):
+            sub = tmp_path / fmt
+            sub.mkdir(exist_ok=True)
+            cfg = _traced_config(sub, fmt=fmt)
+            run_simulation(cfg, "SC", "bodytrack", cycles=300, warmup=100)
+            assert list(read_trace(cfg.telemetry.trace_path))[0]["rec"] == "meta"
+        dump = tmp_path / "d.rdmp"
+        write_dump(dump, {}, [_ring_event(5)], schema=2)
+        assert [r["cycle"] for r in list(read_trace(str(dump)))[1:]] == [5]
+
 
 class TestCli:
     def _make_trace(self, tmp_path, fmt="jsonl"):
@@ -332,7 +620,7 @@ class TestCli:
         assert "episode" in out
 
     def test_blame(self, tmp_path, capsys):
-        cfg = _traced_config(tmp_path, clog_threshold=0.8,
+        cfg = _traced_config(tmp_path, mode="full", clog_threshold=0.8,
                              clog_min_windows=2)
         run_simulation(cfg, "SC", "bodytrack", cycles=1200, warmup=400)
         assert telemetry_main(["blame", cfg.telemetry.trace_path]) == 0
@@ -397,7 +685,7 @@ class TestCli:
     def test_blame_json_totals_match_table(self, tmp_path, capsys):
         import json
 
-        cfg = _traced_config(tmp_path, clog_threshold=0.8,
+        cfg = _traced_config(tmp_path, mode="full", clog_threshold=0.8,
                              clog_min_windows=2)
         run_simulation(cfg, "SC", "bodytrack", cycles=1200, warmup=400)
         path = cfg.telemetry.trace_path
