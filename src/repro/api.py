@@ -41,6 +41,7 @@ from repro.config.system import SystemConfig
 from repro.explore.pareto import ParetoFrontier
 from repro.explore.space import SearchSpace
 from repro.faults.plan import FaultPlan, chaos_plan
+from repro.sim.engines import BackendError, available_backends
 from repro.sim.metrics import SimulationResult
 from repro.sim.simulator import (
     CpuSpec,
@@ -51,11 +52,13 @@ from repro.sim.simulator import (
 from repro.sweep import JobSpec, run_sweep
 
 __all__ = [
+    "BackendError",
     "FaultPlan",
     "JobSpec",
     "ParetoFrontier",
     "SearchSpace",
     "SimulationResult",
+    "available_backends",
     "build_system",
     "chaos_plan",
     "explore",
@@ -81,6 +84,7 @@ def explore(
     warmup: Optional[int] = None,
     cache="auto",
     progress=None,
+    backend: Optional[str] = None,
 ):
     """Multi-objective design-space search over a :class:`SearchSpace`.
 
@@ -113,6 +117,7 @@ def explore(
         warmup=warmup,
         cache=cache,
         progress=progress,
+        backend=backend,
     )
 
 
@@ -149,6 +154,7 @@ def simulate(
     warmup: int = 2_000,
     kernel_flush_interval: int = 0,
     faults: Optional[FaultPlan] = None,
+    backend: Optional[str] = None,
 ) -> SimulationResult:
     """Simulate one workload mix and return its steady-state metrics.
 
@@ -168,6 +174,15 @@ def simulate(
             recovery (see :mod:`repro.faults`).  ``None`` (the default)
             leaves the simulation bit-identical to a build without the
             fault layer.
+        backend: simulation engine to run on: ``"object"`` (the
+            per-object reference kernel, supports everything) or
+            ``"vector"`` (the struct-of-arrays batch kernel — much
+            faster on large or saturated meshes; no telemetry, adaptive
+            routing, or non-loss fault plans).  ``None`` (the default)
+            honours the ``REPRO_BACKEND`` environment variable and
+            falls back to ``"object"``.  Unknown or unusable choices
+            raise :class:`BackendError` with a one-line message; see
+            :func:`available_backends`.
     """
     return run_simulation(
         cfg,
@@ -177,4 +192,5 @@ def simulate(
         warmup=warmup,
         kernel_flush_interval=kernel_flush_interval,
         faults=faults,
+        backend=backend,
     )

@@ -19,6 +19,8 @@ Flags:
     ``--quick``        quarter-length run (CI smoke test budget)
     ``--configs a b``  run only the named configs
     ``--reference``    use the full-scan reference stepping (for A/B runs)
+    ``--backend B``    run the fabric configs on another engine
+                       (``object`` | ``vector``; default per config)
     ``--jobs N``       worker processes for the sweep-throughput bench
     ``--out PATH``     output path (default ``BENCH_noc.json``)
 """
@@ -38,7 +40,14 @@ from repro.bench.harness import (
     run_sweep_throughput,
     run_telemetry_overhead,
 )
-from repro.cli import add_cycles_option, add_jobs_option, add_out_option
+from repro.cli import (
+    add_backend_option,
+    add_cycles_option,
+    add_jobs_option,
+    add_out_option,
+    backend_error_exit,
+)
+from repro.sim.engines import BackendError
 
 #: pseudo-config measuring the repro.sweep runner, not a bare fabric
 SWEEP_BENCH = "sweep_throughput"
@@ -66,6 +75,9 @@ def main(argv=None) -> int:
                         help="subset of configs to run")
     parser.add_argument("--reference", action="store_true",
                         help="use full-scan reference stepping")
+    add_backend_option(parser, help="simulation engine for the fabric "
+                                    "configs (default per config; the "
+                                    "pseudo-configs always run object)")
     parser.add_argument("--no-isolate", action="store_true",
                         help="run fabric configs in-process instead of one "
                              "subprocess each (faster, but peak_rss_kb "
@@ -148,10 +160,15 @@ def main(argv=None) -> int:
             cycles = max(200, BENCH_CONFIGS[name][1] // 4)
         # one subprocess per config so peak_rss_kb is per-config truth
         runner = run_bench if args.no_isolate else run_bench_isolated
-        res = runner(name, cycles=cycles, reference=args.reference)
+        try:
+            res = runner(name, cycles=cycles, reference=args.reference,
+                         backend=args.backend)
+        except BackendError as exc:
+            return backend_error_exit(exc)
         results[name] = res.as_dict()
         print(
             f"{name:>12}: {res.cycles_per_sec:>8.1f} cycles/s "
+            f"[{res.extra['backend']}] "
             f"({res.cycles} cycles in {res.wall_time_s:.2f}s, "
             f"{res.packets_delivered} pkts)"
         )

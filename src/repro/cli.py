@@ -11,6 +11,7 @@ through these helpers:
 ``--out PATH``   primary output file
 ``--seed N``     override the config's RNG seed
 ``--format F``   human table vs machine JSON on stdout
+``--backend B``  simulation engine (object | vector)
 
 Renamed or historical spellings stay functional via
 :func:`add_deprecated_alias`, which maps the old flag onto the canonical
@@ -100,6 +101,29 @@ def add_format_option(
     parser.add_argument(
         "--format", choices=OUTPUT_FORMATS, default=default, help=help
     )
+
+
+def add_backend_option(
+    parser: argparse.ArgumentParser,
+    help: str = "simulation engine "
+    "(default: $REPRO_BACKEND or the command's built-in)",
+) -> None:
+    from repro.sim.engines import available_backends
+
+    parser.add_argument(
+        "--backend", choices=available_backends(), default=None, help=help
+    )
+
+
+def backend_error_exit(exc: Exception) -> int:
+    """One-line ``error:`` exit shared by every ``--backend`` CLI.
+
+    Prints the :class:`~repro.sim.engines.BackendError` message to
+    stderr (already a single line by contract) and returns the exit
+    status for the caller to hand to ``sys.exit``.
+    """
+    print(f"error: {exc}", file=sys.stderr)
+    return 2
 
 
 def emit(

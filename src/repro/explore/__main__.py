@@ -26,12 +26,14 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.analysis.report import format_table
 from repro.cli import (
+    add_backend_option,
     add_batch_option,
     add_format_option,
     add_jobs_option,
     add_out_option,
     add_seed_option,
     add_window_options,
+    backend_error_exit,
     emit,
 )
 from repro.explore.objectives import OBJECTIVE_NAMES, SENSES
@@ -115,6 +117,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         warmup=args.warmup,
         cache=args.cache_dir if args.cache_dir else "auto",
         progress=progress,
+        backend=args.backend,
     )
     manifest = outcome.manifest()
     if args.out:
@@ -279,6 +282,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_seed_option(run, help="search RNG seed (default: 0)")
     add_window_options(run)
+    add_backend_option(run, help="simulation engine for the ground-truth "
+                                 "promotions (surrogate scoring is "
+                                 "backend-free)")
     add_jobs_option(run)
     add_batch_option(run)
     add_out_option(run, help="write the frontier manifest JSON here")
@@ -307,12 +313,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    from repro.sim.engines import BackendError
+
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
         return 130
+    except BackendError as exc:
+        return backend_error_exit(exc)
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -121,10 +121,14 @@ class ExploreEnv:
         warmup: Optional[int] = None,
         budget: Optional[int] = None,
         observe_stalls: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
         self.space = demo_space(space) if isinstance(space, str) else space
         self.cycles = self.space.cycles if cycles is None else cycles
         self.warmup = self.space.warmup if warmup is None else warmup
+        #: simulation engine ground-truth promotions run on (None:
+        #: $REPRO_BACKEND / object — see repro.sim.engines)
+        self.backend = backend
         #: episode ends after this many *unique* surrogate evaluations.
         self.budget = budget
         #: simulate() runs with telemetry + stall attribution enabled so
@@ -161,6 +165,7 @@ class ExploreEnv:
                 gpu,
                 cfg.config_hash()[:8],
             ),
+            backend=self.backend,
         )
 
     def evaluate(self, genome: Genome) -> EvalRecord:

@@ -47,6 +47,7 @@ from repro.explore.pareto import (
     non_dominated_sort,
 )
 from repro.explore.space import Genome, SearchSpace, demo_space
+from repro.sim.engines import resolve_backend
 from repro.sweep.cache import ENV_CACHE_DIR, ResultCache
 from repro.sweep.runner import SweepRunner, stall_shares
 
@@ -303,6 +304,7 @@ class ExploreOutcome:
     population: int
     cycles: int
     warmup: int
+    backend: str
     surrogate_only: bool
     sim_fraction: float
     records: List[EvalRecord]
@@ -346,6 +348,7 @@ class ExploreOutcome:
                 "population": self.population,
                 "cycles": self.cycles,
                 "warmup": self.warmup,
+                "backend": self.backend,
                 "surrogate_only": self.surrogate_only,
                 "sim_fraction": self.sim_fraction,
             },
@@ -501,6 +504,7 @@ def explore(
     warmup: Optional[int] = None,
     cache: Union[ResultCache, str, None] = "auto",
     progress: Optional[ProgressFn] = None,
+    backend: Optional[str] = None,
 ) -> ExploreOutcome:
     """Run one hybrid design-space exploration; see module docstring.
 
@@ -513,7 +517,7 @@ def explore(
     space = demo_space(space) if isinstance(space, str) else space
     if algo not in ALGORITHMS:
         raise ValueError(f"unknown algo {algo!r}; choose from {ALGORITHMS}")
-    env = ExploreEnv(space, cycles=cycles, warmup=warmup)
+    env = ExploreEnv(space, cycles=cycles, warmup=warmup, backend=backend)
 
     if progress:
         progress(
@@ -614,6 +618,7 @@ def explore(
         population=population,
         cycles=env.cycles,
         warmup=env.warmup,
+        backend=resolve_backend(backend),
         surrogate_only=surrogate_only,
         sim_fraction=sim_fraction,
         records=records,

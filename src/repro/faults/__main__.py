@@ -31,12 +31,14 @@ import json
 import sys
 
 from repro.cli import (
+    add_backend_option,
     add_batch_option,
     add_format_option,
     add_jobs_option,
     add_out_option,
     add_seed_option,
     add_window_options,
+    backend_error_exit,
     emit,
 )
 
@@ -53,13 +55,17 @@ def _add_workload_options(p: argparse.ArgumentParser) -> None:
 
 def _build_plan(args, cfg, cycles: int, warmup: int):
     from repro.faults.plan import FaultPlan, chaos_plan
+    from repro.sim.engines import resolve_backend
 
     if getattr(args, "plan", None):
         with open(args.plan) as fh:
             return FaultPlan.from_dict(json.load(fh))
+    # the vector backend only injects loss faults, so a generated chaos
+    # plan for it skips the link-down/up schedule instead of erroring
+    loss_only = resolve_backend(getattr(args, "backend", None)) == "vector"
     return chaos_plan(
         cfg, args.intensity, seed=args.seed or 0,
-        warmup=warmup, cycles=cycles,
+        warmup=warmup, cycles=cycles, link_down=not loss_only,
     )
 
 
@@ -76,7 +82,15 @@ def cmd_run(args) -> int:
     plan = _build_plan(args, cfg, cycles, warmup)
     cpu = args.cpu or cpu_corunners(args.gpu, 1)[0]
 
-    system = build_system(cfg, args.gpu, cpu, faults=plan)
+    from repro.sim.engines import BackendError
+
+    try:
+        system = build_system(
+            cfg, args.gpu, cpu, faults=plan, backend=args.backend
+        )
+    except BackendError as exc:
+        # e.g. --backend vector with a link-down plan: usage error
+        return backend_error_exit(exc)
     result = run_simulation(
         cfg, args.gpu, cpu, cycles=cycles, warmup=warmup, system=system
     )
@@ -188,6 +202,9 @@ def main(argv=None) -> int:
                        help="chaos intensity in [0,1] (default 0.1)")
     run_p.add_argument("--plan", default=None,
                        help="JSON FaultPlan file (overrides --intensity)")
+    add_backend_option(run_p,
+                       help="simulation engine; vector accepts loss-only "
+                            "plans (flit_drop/flit_corrupt)")
     add_format_option(run_p)
 
     plan_p = sub.add_parser("plan", help="emit a chaos FaultPlan as JSON")

@@ -21,6 +21,19 @@ from repro.noc.routing import RoutingAlgorithm, build_routing
 from repro.noc.topology import BaseTopology
 
 
+class _EverySet(set):
+    """A set that contains everything.
+
+    Installed as ``net._active_ids`` under synchronous (oracle) stepping:
+    the hot-path membership guards in ``accept_flit``/``_move_flit`` then
+    short-circuit, so no wake/heap bookkeeping runs — the sync step
+    arbitrates every active router every pass anyway.
+    """
+
+    def __contains__(self, item) -> bool:  # noqa: D105
+        return True
+
+
 class PhysicalNetwork:
     """One physical network: routers, links and per-link statistics."""
 
@@ -108,6 +121,9 @@ class PhysicalNetwork:
         #: True restores the naive scan-every-router reference stepping
         #: (the equivalence tests compare both modes counter-for-counter)
         self.full_scan = False
+        #: True while the fabric steps this net in synchronous (oracle)
+        #: mode; ``_active_ids`` is then an always-true membership set.
+        self.sync_stepping = False
         self._build_route_tables()
 
     # -- routing tables -------------------------------------------------
@@ -402,6 +418,9 @@ class NocFabric:
         self._active_nics: set = set(mem_set)
         #: True restores the naive inject-every-NIC reference stepping.
         self.full_scan = False
+        #: True switches to synchronous two-phase stepping (the vector
+        #: backend's oracle mode; see :meth:`set_sync_stepping`).
+        self.sync_stepping = False
         #: attached telemetry collector (None = disabled).
         self.telemetry = None
         #: attached fault controller (None = no fault plan installed).
@@ -477,8 +496,77 @@ class NocFabric:
             else:
                 net._build_route_tables()
 
+    def set_sync_stepping(self, on: bool = True) -> None:
+        """Toggle synchronous two-phase (decide-then-commit) stepping.
+
+        This is the oracle mode the vector backend is validated against
+        (DESIGN.md §12).  Each bandwidth pass first collects every
+        router's switch-allocation decisions against the frozen
+        start-of-pass state (:meth:`Router.collect_sync`), then applies
+        all moves in (network, router id, winner key) order; NICs then
+        inject in ascending node order.  Sequential same-cycle ripple —
+        a flit moved by router 3 being moved again by router 5, credits
+        freed earlier in the scan being visible later in it — is thereby
+        removed: that ripple is scan-order-dependent, which is exactly
+        the latent ordering assumption a batch array kernel cannot
+        reproduce.  The default stepping is untouched; this mode exists
+        for the bit-identity tests pinning vector against object.
+        """
+        if on and self.routing.adaptive:
+            raise ValueError(
+                "synchronous (oracle) stepping does not support adaptive "
+                "routing; use the default stepping"
+            )
+        if on and self.telemetry is not None:
+            raise ValueError(
+                "synchronous (oracle) stepping does not support telemetry; "
+                "detach the collector first"
+            )
+        self.sync_stepping = on
+        for net in self._net_list:
+            net.sync_stepping = on
+            if on:
+                # every router is visited every pass: neutralise the
+                # active-set wake bookkeeping on the accept/move paths
+                net._active_ids = _EverySet()
+                net._wakes.clear()
+                for router in net.routers:
+                    router.wake_armed = -1
+            else:
+                net._active_ids = {
+                    r.rid for r in net.routers if r.active
+                }
+
+    def _step_sync(self, cycle: int) -> None:
+        """One synchronous two-phase fabric cycle (oracle mode)."""
+        for net in self._net_list:
+            net.cycles += 1
+        moves: List = []
+        for _ in range(self.bandwidth):
+            del moves[:]
+            for net in self._net_list:
+                frozen = net.fault_frozen
+                routers = net.routers
+                if frozen:
+                    for router in routers:
+                        if router.active and router.rid not in frozen:
+                            router.collect_sync(cycle, net, moves)
+                else:
+                    for router in routers:
+                        if router.active:
+                            router.collect_sync(cycle, net, moves)
+            if not moves:
+                break
+            for router, iport, ivc, oport, q in moves:
+                router._move_flit(iport, ivc, oport, cycle, q)
+        for nic in self.nics:
+            nic.inject_step(cycle)
+
     def step(self, cycle: int) -> None:
         """Advance the fabric one cycle: route flits, then inject."""
+        if self.sync_stepping:
+            self._step_sync(cycle)
+            return
         for net in self._net_list:
             net.step(cycle)
         if self.full_scan:

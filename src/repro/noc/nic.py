@@ -191,9 +191,14 @@ class NodeInterface:
         occ_row = router.occ[LOCAL_PORT]
         owner_row = router.owner[LOCAL_PORT]
         cap = router.vc_cap
-        # continue in-flight worms first (wormhole: must finish)
+        # continue in-flight worms first (wormhole: must finish), lowest VC
+        # first.  Sorting matters: dict order here is VC-*allocation* order,
+        # which depends on the full history of completions — a latent
+        # ordering assumption that made injection priority under contention
+        # effectively random.  Lowest-VC-first is deterministic from current
+        # state alone (and is what the vector backend implements).
         if inflight:
-            for vc in list(inflight):
+            for vc in sorted(inflight):
                 if budget <= 0:
                     break
                 entry = inflight[vc]

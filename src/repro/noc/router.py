@@ -419,6 +419,100 @@ class Router:
         self.rescan = True
         return moved
 
+    def collect_sync(self, cycle: int, net, moves: List) -> None:
+        """Phase A of the synchronous two-phase oracle (DESIGN.md §12).
+
+        Runs the exact candidate admission and winner selection of
+        :meth:`_arbitrate_once`, but *appends* the chosen moves to
+        ``moves`` instead of applying them, so every router in the fabric
+        arbitrates against the same start-of-pass state.  The fabric then
+        applies all collected moves in one batch (phase B) — the same
+        decide-then-commit split the vector backend's array kernel uses,
+        which is what makes the two bit-comparable.
+
+        VC allocations (``out_vc``) made here are phase-A decisions and
+        persist even when the worm loses switch allocation, exactly like
+        the sequential arbiter.  Telemetry hooks are deliberately absent:
+        sync stepping refuses to run traced
+        (:meth:`~repro.noc.network.NocFabric.set_sync_stepping`).
+        """
+        winners: Optional[Dict[int, Tuple[int, int, int, deque]]] = None
+        win_key = win_iport = win_ivc = win_oport = -1
+        win_q: Optional[deque] = None
+        ncand = 0
+        route_out = self.route_out
+        out_vc = self.out_vc
+        sent = self.sent
+        downstream = self.downstream
+        dead = None
+        fa = net.faults
+        for key_iv, q in self.active.items():
+            if not q:
+                if dead is None:
+                    dead = [key_iv]
+                else:
+                    dead.append(key_iv)
+                continue
+            iport, ivc = key_iv
+            head = q[0]
+            if head[_AVAIL] == 0:
+                continue  # waiting for upstream flits
+            if cycle < head[_READY]:
+                continue  # router-pipeline dwell
+            pkt: Packet = head[_PKT]
+            oport = route_out[iport][ivc]
+            if oport < 0:
+                oport = net.route(self, pkt)
+                if oport < 0:
+                    continue  # no admissible output this cycle
+                route_out[iport][ivc] = oport
+            if oport == LOCAL_PORT:
+                if sent[iport][ivc] == 0 and not net.nics[self.rid].can_eject(pkt):
+                    continue  # ejection gate closed (phase-A snapshot)
+            else:
+                if fa is not None and (self.rid, oport) in net.fault_down:
+                    if out_vc[iport][ivc] < 0:
+                        route_out[iport][ivc] = -1
+                    continue
+                ovc = out_vc[iport][ivc]
+                down, dport = downstream[oport]
+                if ovc >= 0:
+                    if down.occ[dport][ovc] >= down.vc_cap:
+                        continue  # credit stall
+                    owner = down.owner[dport][ovc]
+                    if owner is not None and owner is not pkt:
+                        continue  # lock held by another worm
+                elif not self._allocate_vc(iport, ivc, oport, pkt, down, dport):
+                    continue  # VC-allocation stall
+            ncand += 1
+            if winners is None:
+                if ncand == 1:
+                    win_key = (pkt.cls << 48) | pkt.pid
+                    win_iport, win_ivc, win_oport = iport, ivc, oport
+                    win_q = q
+                    continue
+                winners = {win_oport: (win_key, win_iport, win_ivc, win_q)}
+            key = (pkt.cls << 48) | pkt.pid
+            cur = winners.get(oport)
+            if cur is None or key < cur[0]:
+                winners[oport] = (key, iport, ivc, q)
+        if dead is not None:
+            active_pop = self.active.pop
+            for key_iv in dead:
+                active_pop(key_iv, None)
+        if winners is None:
+            if ncand:
+                moves.append((self, win_iport, win_ivc, win_oport, win_q))
+            return
+        taken_inputs = set()
+        for _oport, (key, iport, ivc, q) in sorted(
+            winners.items(), key=lambda kv: kv[1][0]
+        ):
+            if iport in taken_inputs:
+                continue
+            taken_inputs.add(iport)
+            moves.append((self, iport, ivc, _oport, q))
+
     def _allocate_vc(
         self, iport: int, ivc: int, oport: int, pkt: Packet, down, dport
     ) -> bool:

@@ -42,6 +42,7 @@ def build_system(
     cpu: Optional[CpuSpec] = None,
     kernel_flush_interval: int = 0,
     faults: Optional[FaultPlan] = None,
+    backend: Optional[str] = None,
 ) -> HeterogeneousSystem:
     """Construct (but do not run) the system for a workload mix."""
     return HeterogeneousSystem(
@@ -50,6 +51,7 @@ def build_system(
         _resolve_cpu(cpu),
         kernel_flush_interval=kernel_flush_interval,
         faults=faults,
+        backend=backend,
     )
 
 
@@ -62,6 +64,7 @@ def run_simulation(
     kernel_flush_interval: int = 0,
     system: Optional[HeterogeneousSystem] = None,
     faults: Optional[FaultPlan] = None,
+    backend: Optional[str] = None,
 ) -> SimulationResult:
     """Simulate one workload mix and return its steady-state metrics.
 
@@ -78,9 +81,14 @@ def run_simulation(
             arguments are ignored for construction then).
         faults: optional :class:`~repro.faults.plan.FaultPlan` installing
             the fault-injection layer (see :mod:`repro.faults`).
+        backend: simulation engine name (``"object"`` | ``"vector"``;
+            see :mod:`repro.sim.engines`).  ``None`` honours
+            ``$REPRO_BACKEND`` and defaults to ``"object"``.
     """
     if system is None:
-        system = build_system(cfg, gpu, cpu, kernel_flush_interval, faults)
+        system = build_system(
+            cfg, gpu, cpu, kernel_flush_interval, faults, backend=backend
+        )
     system.run(warmup)
     baseline = collect_counters(system)
     if system.telemetry is not None:

@@ -30,9 +30,9 @@ from repro.gpu.shared_l1 import (
     SharedL1Port,
 )
 from repro.mem.address import AddressMap
-from repro.noc.network import NocFabric
 from repro.noc.nic import MemoryNodeNic
 from repro.noc.topology import build_topology
+from repro.sim.engines import build_fabric, validate_backend
 from repro.sim.layout import NodePlacement, build_layout
 from repro.sim.memory_node import MemoryNode
 from repro.telemetry.collector import TelemetryCollector
@@ -78,15 +78,22 @@ class HeterogeneousSystem:
         cpu_profile: Optional[CpuBenchmarkProfile] = None,
         kernel_flush_interval: int = 0,
         faults: Optional[FaultPlan] = None,
+        backend: Optional[str] = None,
     ) -> None:
         cfg = _apply_sim_scale(cfg)
         self.cfg = cfg
+        # resolve + feature-check the simulation backend up front so an
+        # unusable combination fails with one line before any wiring
+        self.backend = validate_backend(
+            backend, telemetry=cfg.telemetry.enabled, faults=faults
+        )
         self.layout: NodePlacement = build_layout(cfg)
         self.topology = build_topology(
             cfg.noc.topology, cfg.mesh_width, cfg.mesh_height
         )
-        self.fabric = NocFabric(
-            self.topology, cfg.noc, mem_nodes=self.layout.mem_nodes
+        self.fabric = build_fabric(
+            self.backend, self.topology, cfg.noc,
+            mem_nodes=self.layout.mem_nodes,
         )
         self.addr_map = AddressMap(self.layout.mem_nodes)
         self.cycle = 0

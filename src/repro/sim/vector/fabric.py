@@ -1,0 +1,471 @@
+"""Facades wrapping :class:`~repro.sim.vector.kernel.VectorKernel`.
+
+The vector backend keeps all hot-path state in the kernel's numpy arrays;
+everything in this module is a thin object-shaped view over those arrays
+so the rest of the tree (metrics collection, the fault controller, memory
+nodes, cores) talks to the vector backend through the exact surface
+:class:`~repro.noc.network.NocFabric` exposes:
+
+* :class:`VectorFabric` — drop-in for ``NocFabric`` (built by the
+  ``engines`` registry for ``backend="vector"``),
+* :class:`VectorNet` — drop-in for ``PhysicalNetwork`` statistics and
+  fault-controller surfaces,
+* :class:`VectorNic` — compute-node NIC whose injection runs inside the
+  kernel's batched step; its counters are views into kernel arrays,
+* :class:`_VecMemNic` — a real :class:`~repro.noc.nic.MemoryNodeNic`
+  (priority reply scheduling and delegation are reused verbatim) injecting
+  through a per-node :class:`_RouterView` bridge into the arrays.
+
+Features the arrays do not model fail fast with a one-line
+:class:`~repro.sim.engines.BackendError` (telemetry, adaptive routing;
+the ``engines`` check layer additionally rejects non-loss fault plans).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.config.system import NocConfig
+from repro.noc.nic import MemoryNodeNic
+from repro.noc.packet import NetKind, Packet
+from repro.noc.router import LOCAL_PORT
+from repro.noc.routing import build_routing
+from repro.noc.topology import BaseTopology
+from repro.sim.engines import BackendError
+from repro.sim.vector.kernel import VectorKernel
+
+
+class _KindCounter:
+    """Read-only ``{NetKind: int}`` view over a ``(2, n)`` counter array."""
+
+    __slots__ = ("_arr", "_node")
+
+    def __init__(self, arr, node: int) -> None:
+        self._arr = arr
+        self._node = node
+
+    def __getitem__(self, kind) -> int:
+        return int(self._arr[int(kind), self._node])
+
+
+class _ListCounter:
+    """Read-only ``{NetKind: int}`` view over a plain two-slot list."""
+
+    __slots__ = ("_l",)
+
+    def __init__(self, l: List[int]) -> None:
+        self._l = l
+
+    def __getitem__(self, kind) -> int:
+        return self._l[int(kind)]
+
+
+class _ClsCounter:
+    """Read-only ``{TrafficClass: int}`` view over a ``(2, n)`` array."""
+
+    __slots__ = ("_arr", "_node")
+
+    def __init__(self, arr, node: int) -> None:
+        self._arr = arr
+        self._node = node
+
+    def __getitem__(self, cls) -> int:
+        return int(self._arr[int(cls), self._node])
+
+
+class _OwnerRow:
+    """``router.owner[LOCAL_PORT]`` shaped view: index -> Packet | None."""
+
+    __slots__ = ("_K", "_base")
+
+    def __init__(self, kernel: VectorKernel, base: int) -> None:
+        self._K = kernel
+        self._base = base
+
+    def __getitem__(self, vc: int) -> Optional[Packet]:
+        i = self._K.owner[self._base + vc]
+        return self._K.pk_obj[i] if i >= 0 else None
+
+
+class _RouterView:
+    """Local-port injection surface of one router, bridging the object
+    NIC code (memory nodes) onto the kernel arrays.
+
+    Only the members :meth:`~repro.noc.nic.NodeInterface._inject_net` and
+    ``_pick_vc`` touch are provided: ``occ[LOCAL_PORT]`` /
+    ``owner[LOCAL_PORT]`` rows, ``vc_cap`` and ``accept_flit``.
+    """
+
+    __slots__ = ("_K", "_base", "occ", "owner", "vc_cap")
+
+    def __init__(self, kernel: VectorKernel, net_i: int, node: int) -> None:
+        self._K = kernel
+        row = net_i * kernel.n + node
+        base = row * kernel.PV + LOCAL_PORT * kernel.V
+        self._base = base
+        occ3 = kernel.occ.reshape(kernel.R, kernel.P, kernel.V)
+        self.occ = [occ3[row, LOCAL_PORT]]
+        self.owner = [_OwnerRow(kernel, base)]
+        self.vc_cap = kernel.cap
+
+    def accept_flit(
+        self, port: int, vc: int, pkt: Packet, is_tail: bool, cycle: int
+    ) -> None:
+        K = self._K
+        K.accept_one(self._base + vc, K.mem_index_of(pkt), is_tail, cycle)
+
+
+class _RouterStats:
+    """Per-router statistics view (fault watchdog, analysis helpers)."""
+
+    __slots__ = ("_K", "_row", "rid")
+
+    def __init__(self, kernel: VectorKernel, net_i: int, rid: int) -> None:
+        self._K = kernel
+        self._row = net_i * kernel.n + rid
+        self.rid = rid
+
+    @property
+    def flits_routed(self) -> int:
+        return int(self._K.flits_routed[self._row])
+
+    def buffered_flits(self) -> int:
+        K = self._K
+        lo = self._row * K.PV
+        return int(K.occ[lo:lo + K.PV].sum())
+
+    @property
+    def active(self) -> bool:
+        return self.buffered_flits() > 0
+
+
+class VectorNet:
+    """``PhysicalNetwork``-shaped statistics/fault surface of one net."""
+
+    def __init__(self, name: str, kernel: VectorKernel, net_i: int) -> None:
+        self.name = name
+        self._K = kernel
+        self._net_i = net_i
+        self.topology = kernel.topology
+        self.cfg = kernel.cfg
+        self.vcs = kernel.V
+        self.bandwidth = kernel.bandwidth
+        self.telemetry = None
+        self.stall_tel = None
+        #: assigned by the fault controller on install (same contract as
+        #: PhysicalNetwork: default empty/falsy keeps hot-path checks cheap)
+        self.faults = None
+        self.fault_down: frozenset = frozenset()
+        self.fault_frozen: frozenset = frozenset()
+        self.full_scan = False
+        self._port_of = kernel.port_of
+        self.packets_delivered = 0
+        self.flits_delivered = 0
+        self.cycles = 0
+        self.delivered_by_type: Dict[int, int] = {}
+        self.routers = [
+            _RouterStats(kernel, net_i, rid) for rid in range(kernel.n)
+        ]
+
+    def mark_router_active(self, rid: int) -> None:
+        pass  # no active-set scheduler: every router is stepped in batch
+
+    def total_flits_routed(self) -> int:
+        return self._K.net_flits_routed(self._net_i)
+
+    def buffered_flits(self) -> int:
+        return self._K.net_buffered(self._net_i)
+
+    @property
+    def link_flits(self) -> List[List[int]]:
+        """Per-link flit counts, ``[rid][oport]`` shaped like the object
+        kernel's (materialised from the kernel's flat group array)."""
+        K = self._K
+        base = self._net_i * K.n
+        out = []
+        for rid in range(K.n):
+            g0 = (base + rid) * K.P
+            nports = 1 + len(self._port_of[rid])
+            out.append([int(K.link_flits[g0 + p]) for p in range(nports)])
+        return out
+
+    def link_utilization(self, rid: int, oport: int) -> float:
+        if self.cycles == 0:
+            return 0.0
+        K = self._K
+        g = (self._net_i * K.n + rid) * K.P + oport
+        return int(K.link_flits[g]) / (self.cycles * self.bandwidth)
+
+    def utilization_of_links_into(self, rid: int) -> List[float]:
+        out = []
+        for nb, _port in self._port_of[rid].items():
+            towards = self._port_of[nb][rid]
+            out.append(self.link_utilization(nb, towards))
+        return out
+
+
+class VectorNic:
+    """Compute-node NIC of the vector backend.
+
+    ``try_send`` appends to a per-(kind, node) queue the kernel drains in
+    its batched injection step; every counter the rest of the tree reads
+    is a view into the kernel's arrays.
+    """
+
+    __slots__ = (
+        "node_id",
+        "_K",
+        "queue_packets",
+        "handler",
+        "telemetry",
+        "stall_tel",
+        "fault_guard",
+        "_eject_gate_fn",
+        "_queues",
+        "_sent",
+        "flits_injected_net",
+        "packets_sent_net",
+        "flits_received",
+    )
+
+    def __init__(
+        self, node_id: int, kernel: VectorKernel, queue_packets: int
+    ) -> None:
+        self.node_id = node_id
+        self._K = kernel
+        self.queue_packets = queue_packets
+        self.handler: Optional[Callable[[Packet, int], None]] = None
+        self.telemetry = None
+        self.stall_tel = None
+        self.fault_guard = None
+        self._eject_gate_fn: Optional[Callable[[Packet], bool]] = None
+        self._queues = (
+            kernel.queues[0][node_id],
+            kernel.queues[1][node_id],
+        )
+        self._sent = [0, 0]
+        self.flits_injected_net = _KindCounter(
+            kernel.flits_injected_arr, node_id
+        )
+        self.packets_sent_net = _ListCounter(self._sent)
+        self.flits_received = _ClsCounter(kernel.flits_rx_arr, node_id)
+
+    # -- endpoint-facing API -------------------------------------------
+
+    def can_enqueue(self, net: NetKind) -> bool:
+        return len(self._queues[int(net)]) < self.queue_packets
+
+    def try_send(self, pkt: Packet, cycle: int) -> bool:
+        k = pkt.net
+        dq = self._queues[k]
+        if len(dq) >= self.queue_packets:
+            return False
+        if pkt.created < 0:
+            pkt.created = cycle
+        dq.append(pkt)
+        self._sent[k] += 1
+        if self.fault_guard is not None:
+            self.fault_guard.on_send(self.node_id, pkt, cycle)
+        return True
+
+    # -- ejection -------------------------------------------------------
+
+    @property
+    def eject_gate(self) -> Optional[Callable[[Packet], bool]]:
+        return self._eject_gate_fn
+
+    @eject_gate.setter
+    def eject_gate(self, fn: Optional[Callable[[Packet], bool]]) -> None:
+        self._eject_gate_fn = fn
+        if fn is None:
+            self._K.gate_nodes.pop(self.node_id, None)
+        else:
+            self._K.gate_nodes[self.node_id] = fn
+
+    def can_eject(self, pkt: Packet) -> bool:
+        gate = self._eject_gate_fn
+        if gate is not None:
+            return gate(pkt)
+        return True
+
+    def notify_eject_ready(self) -> None:
+        pass  # gates are re-evaluated every pass; nothing sleeps on them
+
+    def deliver(self, pkt: Packet, cycle: int) -> None:
+        if self.fault_guard is not None:
+            self.fault_guard.on_deliver(self.node_id, pkt, cycle)
+        K = self._K
+        K.flits_rx_arr[int(pkt.cls), self.node_id] += pkt.size_flits
+        if pkt.size_flits > 1:
+            K.data_rx_arr[self.node_id] += pkt.size_flits - 1
+        if self.handler is not None:
+            self.handler(pkt, cycle)
+
+    # -- counters -------------------------------------------------------
+
+    @property
+    def flits_injected(self) -> int:
+        return int(self._K.flits_injected_arr[:, self.node_id].sum())
+
+    @property
+    def data_flits_received(self) -> int:
+        return int(self._K.data_rx_arr[self.node_id])
+
+
+class _VecMemNic(MemoryNodeNic):
+    """Memory-node NIC on the vector backend.
+
+    Priority reply scheduling, the flit-bounded reply buffer and the
+    delegation hook are inherited verbatim; injection flows through the
+    fabric's :class:`_RouterView` bridge into the kernel arrays.  Only the
+    ejection gate needs kernel awareness (the batch step consults a
+    per-node gate registry instead of calling into sleeping routers).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        fabric: "VectorFabric",
+        queue_packets: int,
+        reply_buffer_flits: int,
+        kernel: VectorKernel,
+    ) -> None:
+        super().__init__(node_id, fabric, queue_packets, reply_buffer_flits)
+        self._K = kernel
+
+    @property
+    def eject_gate(self) -> Optional[Callable[[Packet], bool]]:
+        return self._eject_gate_fn
+
+    @eject_gate.setter
+    def eject_gate(self, fn: Optional[Callable[[Packet], bool]]) -> None:
+        self._eject_gate_fn = fn
+        if fn is None:
+            self._K.gate_nodes.pop(self.node_id, None)
+        else:
+            self._K.gate_nodes[self.node_id] = fn
+
+
+class VectorFabric:
+    """Drop-in for :class:`~repro.noc.network.NocFabric` backed by the
+    struct-of-arrays kernel (DESIGN.md §12)."""
+
+    def __init__(
+        self,
+        topology: BaseTopology,
+        cfg: NocConfig,
+        mem_nodes: Tuple[int, ...] = (),
+    ) -> None:
+        self.topology = topology
+        self.cfg = cfg
+        self.separate_networks = cfg.separate_physical_networks
+        self.bandwidth = max(1, round(cfg.bandwidth_factor))
+        routing = build_routing(topology, cfg)
+        if routing.adaptive:
+            raise BackendError(
+                "backend 'vector' does not support adaptive routing "
+                f"({cfg.routing!r}); use backend='object'"
+            )
+        self.routing = routing
+        facades: List[VectorNet] = []
+        kernel = VectorKernel(
+            topology, cfg, mem_nodes, facades, self.separate_networks
+        )
+        self.kernel = kernel
+        if self.separate_networks:
+            facades.append(VectorNet("request", kernel, 0))
+            facades.append(VectorNet("reply", kernel, 1))
+            self.request_net, self.reply_net = facades
+        else:
+            shared = VectorNet("shared", kernel, 0)
+            facades.append(shared)
+            self.request_net = self.reply_net = shared
+        self._net_list: Tuple[VectorNet, ...] = tuple(facades)
+        mem_set = set(mem_nodes)
+        self.nics: List = []
+        for node in range(topology.n):
+            if node in mem_set:
+                nic = _VecMemNic(
+                    node,
+                    self,
+                    cfg.node_injection_queue_packets,
+                    cfg.mem_injection_buffer_flits,
+                    kernel,
+                )
+            else:
+                nic = VectorNic(
+                    node, kernel, cfg.node_injection_queue_packets
+                )
+            self.nics.append(nic)
+        kernel.nics = self.nics
+        kernel.fabric = self
+        #: per-(kind, mem node) injection bridges for router_for
+        self._rviews: Dict[Tuple[int, int], _RouterView] = {}
+        for node in mem_set:
+            for kind in (0, 1):
+                net_i = kernel.net_of_kind[kind]
+                self._rviews[(kind, node)] = _RouterView(kernel, net_i, node)
+        self.full_scan = False
+        self.telemetry = None
+        self.faults = None
+
+    # -- telemetry ------------------------------------------------------
+
+    def attach_telemetry(self, collector) -> None:
+        raise BackendError(
+            "backend 'vector' does not support telemetry; "
+            "use backend='object' for traced runs"
+        )
+
+    def detach_telemetry(self) -> None:
+        pass  # nothing was ever attached
+
+    # -- endpoint API ---------------------------------------------------
+
+    def nic(self, node: int):
+        return self.nics[node]
+
+    def router_for(self, node: int, net: NetKind) -> _RouterView:
+        view = self._rviews.get((int(net), node))
+        if view is None:
+            # compute nodes inject inside the kernel; a bridge view is
+            # only pre-built for memory nodes.  Build on demand for any
+            # other caller (tests, analysis helpers).
+            net_i = self.kernel.net_of_kind[int(net)]
+            view = _RouterView(self.kernel, net_i, node)
+            self._rviews[(int(net), node)] = view
+        return view
+
+    def vc_range_for(self, pkt: Packet) -> Tuple[int, int]:
+        k = int(pkt.net)
+        return (self.kernel.vlo_k[k], self.kernel.vhi_k[k])
+
+    # -- simulation -----------------------------------------------------
+
+    def mark_nic_active(self, node: int) -> None:
+        pass  # every queue is visible to the batched injection step
+
+    def wake_node_routers(self, node: int) -> None:
+        pass  # gates are re-evaluated every pass
+
+    def step(self, cycle: int) -> None:
+        for net in self._net_list:
+            net.cycles += 1
+        self.kernel.step(cycle)
+        # memory-node NICs run the inherited object-kernel scheduler and
+        # delegation logic; ascending node order matches the oracle (all
+        # other NICs' injection is node-disjoint and creates no pids, so
+        # batching compute injection first is order-equivalent)
+        nics = self.nics
+        for node in self.kernel.mem_nodes:
+            nics[node].inject_step(cycle)
+
+    def in_flight_flits(self) -> int:
+        return int(self.kernel.occ.sum())
+
+    def memory_blocking_rates(self) -> Dict[int, float]:
+        return {
+            nic.node_id: nic.blocking_rate
+            for nic in self.nics
+            if isinstance(nic, MemoryNodeNic)
+        }

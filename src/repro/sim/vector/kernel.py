@@ -1,0 +1,871 @@
+"""The struct-of-arrays NoC kernel behind ``backend="vector"``.
+
+Layout (DESIGN.md §12).  Both physical networks are folded into one flat
+index space so every per-cycle phase runs once:
+
+* row   ``r = net_i * n + rid``            — one router instance,
+* group ``g = r * P + oport``              — one output port (= the input
+  port it feeds downstream; ``g`` doubles as the input-port id ``f // V``),
+* vc    ``f = (r * P + iport) * V + ivc``  — one input virtual channel.
+
+Each input VC is a small ring of worm entries (``ent_*``, depth
+``Q = vc_cap + 1``); the entry at the ring head is mirrored into flat
+``h_*`` arrays (packet, flits available, pipeline-ready cycle, switch
+priority key, routed group, allocated downstream VC, ...) which are the
+authoritative copy — the ring slot under the head is allowed to go stale.
+Packets live in a parallel table (``pk_*`` arrays plus the ``pk_obj``
+Python list holding the canonical :class:`~repro.noc.packet.Packet`
+objects); table indices are recycled through a free list at delivery.
+
+Everything is int64: the arrays are tiny (a mesh 8x8 with two physical
+networks is 1280 input VCs), so index-dtype uniformity — which lets numpy
+reuse fancy-index buffers without a cast per op — matters far more than
+footprint.
+
+One cycle = ``bandwidth`` two-phase passes followed by NIC injection:
+
+1. **Decide** — one mask pass selects the head worms that may move
+   (pipeline done, credit + write lock downstream, ejection gate open,
+   lazy VC allocation), then a single stable argsort of their priority
+   keys feeds two first-occurrence scatters: min-key winner per output
+   group, then per-input-port uniqueness among those winners — exactly
+   the object kernel's switch allocation, batched.
+2. **Commit** — all winners move at once: source counters decrement,
+   arriving flits merge into or append to downstream rings, tails pop
+   and promote the next ring entry to the head mirror.  Python-side
+   effects (deliveries, fault hooks) run in the oracle's
+   (network, router, key) order; on the fault-free, memory-less fast
+   path the delivery counters are batched into array updates and only
+   the per-packet object bookkeeping loops.
+
+Injection batches every compute NIC per network kind: in-flight worms
+continue lowest-VC-first, then new worms start on free VCs.  With
+separate physical networks the (kind, node) injection lanes coincide
+with the router rows, so both kinds run fused in one batch; a shared
+network interleaves the kinds with the oracle's parity order and budget.
+Memory-node NICs keep their exact Python behaviour (priority scheduling,
+delegation) and talk to these arrays through a per-node bridge view.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.noc.packet import NetKind, Packet
+from repro.noc.router import LOCAL_PORT
+
+#: sentinels for empty head slots.
+_NO_READY = np.int64(2**62)
+_NO_KEY = np.int64(2**62)
+
+_I64 = np.int64
+
+
+class VectorKernel:
+    """All mutable NoC state as preallocated numpy arrays."""
+
+    def __init__(self, topology, cfg, mem_nodes, net_facades, separate: bool):
+        self.topology = topology
+        self.cfg = cfg
+        self.nets = net_facades          # VectorNet facades, by net_i
+        # (the list is filled by VectorFabric after construction)
+        self.NN = 2 if separate else 1   # distinct physical networks
+        self.separate = separate
+        n = topology.n
+        self.n = n
+        # geometry
+        port_of: List[Dict[int, int]] = []
+        nports = []
+        for rid in range(n):
+            nbrs = topology.neighbors(rid)
+            port_of.append({nb: 1 + i for i, nb in enumerate(nbrs)})
+            nports.append(1 + len(nbrs))
+        self.port_of = port_of
+        P = max(nports)
+        if separate:
+            V = cfg.vcs_per_port
+            self.vlo_k = (0, 0)
+            self.vhi_k = (V, V)
+        else:
+            V = cfg.request_vcs + cfg.reply_vcs
+            self.vlo_k = (0, cfg.request_vcs)
+            self.vhi_k = (cfg.request_vcs, V)
+        self._vlo_arr = np.array(self.vlo_k, dtype=_I64)
+        self._vhi_arr = np.array(self.vhi_k, dtype=_I64)
+        #: net_i of each NetKind (separate: request=0, reply=1; shared: 0)
+        self.net_of_kind = (0, 1) if separate else (0, 0)
+        R = self.NN * n
+        self.P, self.V, self.R = P, V, R
+        self.PV = P * V
+        F = R * P * V
+        G = R * P
+        self.F, self.G = F, G
+        cap = cfg.vc_depth_flits
+        self.cap = cap
+        Q = cap + 1
+        self.Q = Q
+        self.pipeline = cfg.router_pipeline_cycles - 1 + cfg.link_cycles
+        self.bandwidth = max(1, round(cfg.bandwidth_factor))
+
+        # deterministic routing tables, flattened: [kind, rid, dst] -> oport
+        rt = np.zeros(2 * n * n, dtype=_I64)
+        for kind, order in (
+            (0, cfg.request_order),
+            (1, cfg.reply_order),
+        ):
+            base = kind * n * n
+            for rid in range(n):
+                row = base + rid * n
+                pmap = port_of[rid]
+                for dst in range(n):
+                    if dst != rid:
+                        rt[row + dst] = pmap[
+                            topology.route_next(rid, dst, order)
+                        ]
+        self.route_tab = rt
+
+        # downstream input-port flat-VC base per output group (-1: local
+        # ejection or unused port slot)
+        db = np.full(G, -1, dtype=_I64)
+        for net_i in range(self.NN):
+            for rid in range(n):
+                row = net_i * n + rid
+                for nb, oport in port_of[rid].items():
+                    dport = port_of[nb][rid]
+                    db[row * P + oport] = (
+                        ((net_i * n + nb) * P + dport) * V
+                    )
+        self.down_base = db
+
+        # -- per-VC state (head mirror + entry rings) -------------------
+        # the ten int64 head fields live in one (10, F) block so install
+        # and clear are single column scatters; the named h_* attributes
+        # are row views into it and alias its memory
+        self._hclear = np.array(
+            [[-1], [0], [_NO_READY], [0], [-1], [-1], [-1], [0],
+             [_NO_KEY], [0]], dtype=_I64,
+        )
+        self._H = np.repeat(self._hclear, F, axis=1)
+        (self.h_pkt, self.h_avail, self.h_ready, self.h_sent,
+         self.h_outvc, self.h_dvc, self.h_dbase, self.h_grp,
+         self.h_key, self.h_size) = self._H
+        self.h_eject = np.zeros(F, dtype=bool)
+        self.occ = np.zeros(F, dtype=_I64)
+        self.owner = np.full(F, -1, dtype=_I64)
+        self.qlen = np.zeros(F, dtype=_I64)
+        self.qhead = np.zeros(F, dtype=_I64)
+        self.ent_pkt = np.zeros(F * Q, dtype=_I64)
+        self.ent_avail = np.zeros(F * Q, dtype=_I64)
+        self.ent_ready = np.zeros(F * Q, dtype=_I64)
+
+        # -- per-router / per-link statistics ---------------------------
+        self.flits_routed = np.zeros(R, dtype=_I64)
+        self.link_flits = np.zeros(G, dtype=_I64)
+
+        # -- packet table ----------------------------------------------
+        pc = 4096
+        self.pk_size = np.zeros(pc, dtype=_I64)
+        self.pk_dst = np.zeros(pc, dtype=_I64)
+        self.pk_netk = np.zeros(pc, dtype=_I64)
+        self.pk_key = np.zeros(pc, dtype=_I64)
+        self.pk_hops = np.zeros(pc, dtype=_I64)
+        self.pk_mtype = np.zeros(pc, dtype=_I64)
+        self.pk_cls = np.zeros(pc, dtype=_I64)
+        self.pk_obj: List[Optional[Packet]] = [None] * pc
+        self._free = list(range(pc - 1, -1, -1))
+        #: id(pkt) -> index, for packets entering through the memory-node
+        #: bridge (compute-node packets carry their index in-band)
+        self._mem_idx: Dict[int, int] = {}
+
+        # -- compute-node injection state -------------------------------
+        self.infl_pkt = np.full((2, n, V), -1, dtype=_I64)
+        self.infl_pushed = np.zeros((2, n, V), dtype=_I64)
+        self.flits_injected_arr = np.zeros((2, n), dtype=_I64)
+        self.flits_rx_arr = np.zeros((2, n), dtype=_I64)  # by class
+        self.data_rx_arr = np.zeros(n, dtype=_I64)
+        #: per-(kind, node) queues of un-started Packet objects; their
+        #: lengths are scanned once per cycle instead of being mirrored
+        #: into an array that every try_send would have to maintain
+        self.queues: List[List] = [
+            [deque() for _ in range(n)] for _ in range(2)
+        ]
+        # local-port (n, V) views per net_i for the injection batch
+        occ3 = self.occ.reshape(R, P, V)
+        own3 = self.owner.reshape(R, P, V)
+        self._occ_loc = [occ3[i * n:(i + 1) * n, LOCAL_PORT] for i in range(self.NN)]
+        self._own_loc = [own3[i * n:(i + 1) * n, LOCAL_PORT] for i in range(self.NN)]
+        if separate:
+            # (kind, node) injection lanes == router rows: fused views
+            self._occ_loc_all = occ3[:, LOCAL_PORT]        # (R, V)
+            self._own_loc_all = own3[:, LOCAL_PORT]
+            self._infl_flat = self.infl_pkt.reshape(R, V)
+            self._pushed_flat = self.infl_pushed.reshape(R, V)
+            self._finj_flat = self.flits_injected_arr.reshape(R)
+            self._q_flat = self.queues[0] + self.queues[1]
+
+        #: nodes whose NIC currently has an ejection gate installed
+        self.gate_nodes: Dict[int, object] = {}
+
+        # scratch
+        self._gstamp = np.zeros(G, dtype=_I64)
+        self._arange = np.arange(F, dtype=_I64)
+        # static per-VC route/group bases for _set_heads: with separate
+        # physical networks a packet on kind k only travels on net k, so
+        # the route-table row (k*n + rid) equals the router row f // PV
+        # and needs no per-packet net gather
+        row_f = self._arange // self.PV
+        self._rtbase_f = row_f * n
+        self._rowp_f = row_f * P
+
+        #: wired by VectorFabric after construction
+        self.fabric = None
+        self.nics: List = []
+        self.mem_nodes = tuple(sorted(mem_nodes))
+        self._mem_set = set(mem_nodes)
+
+    # ------------------------------------------------------------------
+    # packet table
+    # ------------------------------------------------------------------
+
+    def _grow_packets(self) -> None:
+        old = len(self.pk_obj)
+        new = old * 2
+        for name in (
+            "pk_size", "pk_dst", "pk_netk", "pk_key", "pk_hops",
+            "pk_mtype", "pk_cls",
+        ):
+            arr = getattr(self, name)
+            grown = np.zeros(new, dtype=arr.dtype)
+            grown[:old] = arr
+            setattr(self, name, grown)
+        self.pk_obj.extend([None] * old)
+        self._free.extend(range(new - 1, old - 1, -1))
+
+    def register(self, pkt: Packet) -> int:
+        """Enter ``pkt`` into the packet table, returning its index."""
+        free = self._free
+        if not free:
+            self._grow_packets()
+            free = self._free
+        i = free.pop()
+        self.pk_size[i] = pkt.size_flits
+        self.pk_dst[i] = pkt.dst
+        self.pk_netk[i] = int(pkt.net)
+        self.pk_key[i] = (pkt.cls << 48) | pkt.pid
+        self.pk_hops[i] = 0
+        self.pk_mtype[i] = int(pkt.mtype)
+        self.pk_cls[i] = int(pkt.cls)
+        self.pk_obj[i] = pkt
+        return i
+
+    def register_many(self, objs) -> np.ndarray:
+        """Batched :meth:`register` for the injection step."""
+        need = len(objs)
+        free = self._free
+        while len(free) < need:
+            self._grow_packets()
+            free = self._free
+        idxs = np.empty(need, dtype=_I64)
+        pk_obj = self.pk_obj
+        for j, pkt in enumerate(objs):
+            i = free.pop()
+            idxs[j] = i
+            pk_obj[i] = pkt
+        # one interleaved fromiter (the enums are IntEnums), six scatters
+        data = np.fromiter(
+            (x for p in objs
+             for x in (p.size_flits, p.dst, p.net, p.cls, p.pid, p.mtype)),
+            _I64, count=6 * need,
+        ).reshape(need, 6)
+        self.pk_size[idxs] = data[:, 0]
+        self.pk_dst[idxs] = data[:, 1]
+        self.pk_netk[idxs] = data[:, 2]
+        cls = data[:, 3]
+        self.pk_cls[idxs] = cls
+        self.pk_key[idxs] = (cls << 48) | data[:, 4]
+        self.pk_hops[idxs] = 0
+        self.pk_mtype[idxs] = data[:, 5]
+        return idxs
+
+    def mem_index_of(self, pkt: Packet) -> int:
+        """Index of a bridge-side packet, registering it on first sight."""
+        i = self._mem_idx.get(id(pkt))
+        if i is None:
+            i = self.register(pkt)
+            self._mem_idx[id(pkt)] = i
+        return i
+
+    def _recycle(self, i: int, pkt: Packet) -> None:
+        self.pk_obj[i] = None
+        self._mem_idx.pop(id(pkt), None)
+        self._free.append(i)
+
+    # ------------------------------------------------------------------
+    # head mirror
+    # ------------------------------------------------------------------
+
+    def _set_heads(self, f, pkt, avail, ready) -> None:
+        """Install worm heads ``pkt`` at input VCs ``f`` (all arrays)."""
+        rt = self._rtbase_f[f] + self.pk_dst[pkt]
+        if not self.separate:
+            # one shared net: the route-table row still keys on the kind
+            rt += self.pk_netk[pkt] * (self.n * self.n)
+        op = self.route_tab[rt]
+        g = self._rowp_f[f] + op
+        self.h_pkt[f] = pkt
+        self.h_avail[f] = avail
+        self.h_ready[f] = ready
+        self.h_sent[f] = 0
+        self.h_outvc[f] = -1
+        self.h_dvc[f] = -1
+        self.h_dbase[f] = self.down_base[g]
+        self.h_grp[f] = g
+        self.h_key[f] = self.pk_key[pkt]
+        self.h_size[f] = self.pk_size[pkt]
+        self.h_eject[f] = op == LOCAL_PORT
+
+    def _clear_heads(self, f) -> None:
+        # parking h_ready at the sentinel is enough to empty a head:
+        # eligibility requires h_ready <= cycle, and every other head
+        # field is only read under an eligibility-derived mask or at
+        # mover subsets, then rewritten wholesale by the next _set_heads
+        self.h_ready[f] = _NO_READY
+
+    # ------------------------------------------------------------------
+    # flit acceptance (batched accept_flit)
+    # ------------------------------------------------------------------
+
+    def _accept(self, dvc, pkt, tail, cycle: int) -> None:
+        """Receive one flit of ``pkt[j]`` into input VC ``dvc[j]``.
+
+        ``dvc`` must be duplicate-free (guaranteed: at most one flit
+        enters any input VC per pass).  Mirrors ``Router.accept_flit``:
+        a continuation merges into its worm's (tail) entry, a new worm
+        appends a header entry that dwells ``pipeline`` cycles.
+        """
+        merge = self.owner[dvc] == pkt
+        ql = self.qlen[dvc]
+        mh = merge & (ql == 1)
+        self.h_avail[dvc[mh]] += 1
+        mr = merge & (ql > 1)
+        i = dvc[mr]
+        pos = (self.qhead[i] + ql[mr] - 1) % self.Q
+        self.ent_avail[i * self.Q + pos] += 1
+        new = ~merge
+        ready = cycle + self.pipeline
+        est = new & (ql == 0)
+        if est.any():
+            self._set_heads(dvc[est], pkt[est], 1, ready)
+        app = new & (ql > 0)
+        i = dvc[app]
+        pos = (self.qhead[i] + ql[app]) % self.Q
+        fi = i * self.Q + pos
+        self.ent_pkt[fi] = pkt[app]
+        self.ent_avail[fi] = 1
+        self.ent_ready[fi] = ready
+        self.qlen[dvc[new]] += 1
+        self.occ[dvc] += 1
+        self.owner[dvc] = np.where(tail, -1, pkt)
+
+    def _accept_cont(self, dvc, tail) -> None:
+        """Continuation flits into VCs their worms already own.
+
+        A continuing worm always merges: the write lock (``owner``) is
+        released only when its tail is accepted, and its entry cannot pop
+        before that tail leaves, so ``qlen >= 1`` and ``owner == pkt``
+        hold by construction.
+        """
+        ql = self.qlen[dvc]
+        mh = ql == 1
+        self.h_avail[dvc[mh]] += 1
+        i = dvc[~mh]
+        pos = (self.qhead[i] + ql[~mh] - 1) % self.Q
+        self.ent_avail[i * self.Q + pos] += 1
+        self.occ[dvc] += 1
+        self.owner[dvc[tail]] = -1
+
+    def _accept_new(self, dvc, pkt, tail, cycle: int) -> None:
+        """Header flits of freshly started worms (``owner`` was free)."""
+        ql = self.qlen[dvc]
+        ready = cycle + self.pipeline
+        est = ql == 0
+        if est.any():
+            self._set_heads(dvc[est], pkt[est], 1, ready)
+        app = ~est
+        i = dvc[app]
+        pos = (self.qhead[i] + ql[app]) % self.Q
+        fi = i * self.Q + pos
+        self.ent_pkt[fi] = pkt[app]
+        self.ent_avail[fi] = 1
+        self.ent_ready[fi] = ready
+        self.qlen[dvc] += 1
+        self.occ[dvc] += 1
+        self.owner[dvc] = np.where(tail, -1, pkt)
+
+    def accept_one(self, f: int, i: int, is_tail: bool, cycle: int) -> None:
+        """Scalar ``accept_flit`` used by the memory-node bridge."""
+        if self.owner[f] == i:
+            ql = int(self.qlen[f])
+            if ql == 1:
+                self.h_avail[f] += 1
+            else:
+                pos = (int(self.qhead[f]) + ql - 1) % self.Q
+                self.ent_avail[f * self.Q + pos] += 1
+        else:
+            ready = cycle + self.pipeline
+            ql = int(self.qlen[f])
+            if ql == 0:
+                one = np.array([f], dtype=_I64)
+                self._set_heads(one, np.array([i], dtype=_I64), 1, ready)
+            else:
+                pos = (int(self.qhead[f]) + ql) % self.Q
+                fi = f * self.Q + pos
+                self.ent_pkt[fi] = i
+                self.ent_avail[fi] = 1
+                self.ent_ready[fi] = ready
+            self.qlen[f] += 1
+        self.occ[f] += 1
+        self.owner[f] = -1 if is_tail else i
+
+    # ------------------------------------------------------------------
+    # the two-phase pass
+    # ------------------------------------------------------------------
+
+    def _decide(self, cycle: int):
+        """Phase A: admitted head worms -> switch-allocation winners.
+
+        All masks are computed over the full flat VC space — at the tiny
+        array sizes involved, one fat op beats three subset-sized ones
+        plus the gather that carves the subset out.
+        """
+        elig = (self.h_ready <= cycle) & (self.h_avail > 0)
+        if not elig.any():
+            return None
+        # downstream credit + write lock, full-width (h_dvc is -1 when no
+        # VC is held; the wrapped gather result is masked off by `have`)
+        dvc = self.h_dvc
+        own_d = self.owner[dvc]
+        credit = (self.occ[dvc] < self.cap) & (
+            (own_d < 0) | (own_d == self.h_pkt)
+        )
+        have = dvc >= 0
+        ej = self.h_eject
+        admit = elig & (ej | (have & credit))
+        need = elig & ~ej & ~have
+        if need.any():
+            # lazy VC allocation from frozen start-of-pass state; the
+            # claim persists even when the worm then loses the switch
+            ni = np.flatnonzero(need)
+            dbase = self.h_dbase[ni]
+            if self.separate:
+                vlo = vhi = None
+            else:
+                k = self.pk_netk[self.h_pkt[ni]]
+                vlo = self._vlo_arr[k]
+                vhi = self._vhi_arr[k]
+            chosen = np.full(ni.size, -1, dtype=_I64)
+            for vc in range(self.V):
+                at = dbase + vc
+                free = (self.owner[at] < 0) & (self.occ[at] < self.cap)
+                if vlo is not None:
+                    free &= (vc >= vlo) & (vc < vhi)
+                chosen = np.where((chosen < 0) & free, vc, chosen)
+            got = chosen >= 0
+            gi = ni[got]
+            if gi.size:
+                self.h_outvc[gi] = chosen[got]
+                self.h_dvc[gi] = dbase[got] + chosen[got]
+                admit[gi] = True
+        if self.gate_nodes:
+            # a NIC with an ejection gate: new worms (sent == 0) destined
+            # there ask the gate scalar-side, exactly like the oracle
+            gated = np.flatnonzero(admit & ej & (self.h_sent == 0))
+            for f in gated.tolist():
+                rid = (f // self.PV) % self.n
+                gate = self.gate_nodes.get(rid)
+                if gate is not None:
+                    pkt = self.pk_obj[int(self.h_pkt[f])]
+                    if not gate(pkt):
+                        admit[f] = False
+        adm = np.flatnonzero(admit)
+        if not adm.size:
+            return None
+        order = np.argsort(self.h_key[adm], kind="stable")
+        sadm = adm[order]
+        pos = self._arange[:sadm.size]
+        # min-key winner per output group: first occurrence in key order
+        sgrp = self.h_grp[sadm]
+        stamp = self._gstamp
+        stamp[sgrp[::-1]] = pos[::-1]
+        w = stamp[sgrp] == pos
+        sadm = sadm[w]
+        # one flit per input port: first occurrence per port among the
+        # per-output winners, still in key order (= the oracle's greedy)
+        ip = sadm // self.V
+        pos = self._arange[:sadm.size]
+        stamp[ip[::-1]] = pos[::-1]
+        w = stamp[ip] == pos
+        return sadm[w]
+
+    def _commit(self, movers, cycle: int) -> None:
+        """Phase B: apply all winning moves against the frozen state."""
+        m = movers
+        pkt = self.h_pkt[m]
+        self.h_avail[m] -= 1
+        self.occ[m] -= 1
+        ns = self.h_sent[m] + 1
+        self.h_sent[m] = ns
+        tail = ns == self.h_size[m]
+        rows = m // self.PV
+        np.add.at(self.flits_routed, rows, 1)
+        ej = self.h_eject[m]
+        nli = ~ej
+        fa = self.fabric.faults
+        if nli.any():
+            mn = m[nli]
+            self._accept(self.h_dvc[mn], pkt[nli], tail[nli], cycle)
+            grp = self.h_grp[mn]
+            self.link_flits[grp] += 1
+            if fa is not None and fa._lossy:
+                heads = np.flatnonzero(nli & (ns == 1))
+                if heads.size:
+                    # header link crossings draw from one shared RNG
+                    # stream: call in the oracle's (net, rid, key) order
+                    sub = np.argsort(rows[heads], kind="stable")
+                    for j in heads[sub].tolist():
+                        f = int(m[j])
+                        row = f // self.PV
+                        g = int(self.h_grp[f])
+                        fa.on_link_head(
+                            self.nets[row // self.n],
+                            row % self.n,
+                            g % self.P,
+                            self.pk_obj[int(pkt[j])],
+                        )
+        # deliveries: at most one ejection per router per pass, applied
+        # in the oracle's (net, rid) order
+        dmask = ej & tail
+        if dmask.any():
+            di = np.flatnonzero(dmask)
+            sub = np.argsort(rows[di], kind="stable")
+            di = di[sub]
+            if fa is None and not self._mem_set:
+                self._deliver_fast(rows[di], pkt[di], cycle)
+            else:
+                for j in di.tolist():
+                    self._deliver(int(m[j]), int(pkt[j]), cycle, fa)
+        if tail.any():
+            # one tail mover per packet per pass: plain fancy increment
+            self.pk_hops[pkt[tail]] += 1
+            f = m[tail]
+            ql = self.qlen[f] - 1
+            self.qlen[f] = ql
+            fe = f[ql == 0]
+            if fe.size:
+                self._clear_heads(fe)
+            fn = f[ql > 0]
+            if fn.size:
+                qh = (self.qhead[fn] + 1) % self.Q
+                self.qhead[fn] = qh
+                fi = fn * self.Q + qh
+                self._set_heads(
+                    fn,
+                    self.ent_pkt[fi],
+                    self.ent_avail[fi],
+                    self.ent_ready[fi],
+                )
+
+    def _deliver_fast(self, rows, pk, cycle: int) -> None:
+        """Fault-free deliveries to plain compute NICs, row-sorted.
+
+        Counter updates run as array ops; only the per-packet object
+        bookkeeping (delivery stamp, hop count, the NIC handler) loops.
+        """
+        n = self.n
+        rids = rows % n
+        sizes = self.pk_size[pk]
+        # rows are unique but rids are not (the same node can eject on
+        # both networks in one pass): scatter-add, not fancy +=
+        np.add.at(self.flits_rx_arr, (self.pk_cls[pk], rids), sizes)
+        data = sizes > 1
+        if data.any():
+            np.add.at(self.data_rx_arr, rids[data], sizes[data] - 1)
+        mts = self.pk_mtype[pk]
+        net_is = rows // n
+        for net_i in range(self.NN):
+            net = self.nets[net_i]
+            sel = net_is == net_i if self.NN > 1 else slice(None)
+            ssz = sizes[sel]
+            cnt = ssz.size
+            if not cnt:
+                continue
+            net.packets_delivered += cnt
+            net.flits_delivered += int(ssz.sum())
+            dbt = net.delivered_by_type
+            for mt, c in enumerate(np.bincount(mts[sel]).tolist()):
+                if c:
+                    dbt[mt] = dbt.get(mt, 0) + c
+        pk_obj = self.pk_obj
+        free = self._free
+        nics = self.nics
+        hops_pre = self.pk_hops[pk].tolist()
+        rl = rids.tolist()
+        for j, p in enumerate(pk.tolist()):
+            pkt = pk_obj[p]
+            pkt.delivered = cycle
+            pre = hops_pre[j]
+            pkt.hops = pre  # the handler sees the pre-increment count
+            handler = nics[rl[j]].handler
+            if handler is not None:
+                handler(pkt, cycle)
+            pkt.hops = pre + 1
+            pk_obj[p] = None
+            free.append(p)
+
+    def _deliver(self, f: int, p: int, cycle: int, fa) -> None:
+        row = f // self.PV
+        net_i, rid = divmod(row, self.n)
+        pkt = self.pk_obj[p]
+        discarded = fa is not None and fa.discard_on_eject(pkt, rid, cycle)
+        if not discarded:
+            net = self.nets[net_i]
+            pkt.delivered = cycle
+            pkt.hops = int(self.pk_hops[p])  # final +1 lands below
+            net.packets_delivered += 1
+            net.flits_delivered += pkt.size_flits
+            key = int(pkt.mtype)
+            dbt = net.delivered_by_type
+            dbt[key] = dbt.get(key, 0) + 1
+            self.nics[rid].deliver(pkt, cycle)
+        pkt.hops = int(self.pk_hops[p]) + 1
+        self._recycle(p, pkt)
+
+    # ------------------------------------------------------------------
+    # injection
+    # ------------------------------------------------------------------
+
+    def _inject_fused(self, cycle: int) -> None:
+        """One flit per compute node on BOTH kinds at once (separate
+        physical networks, bw == 1: the (kind, node) lanes are the router
+        rows, and the two networks share no state)."""
+        occ_loc = self._occ_loc_all
+        own_loc = self._own_loc_all
+        ip = self._infl_flat
+        cont = (
+            (ip >= 0)
+            & (occ_loc < self.cap)
+            & ((own_loc < 0) | (own_loc == ip))
+        )
+        has_cont = cont.any(axis=1)
+        lanes_c = np.flatnonzero(has_cont)
+        if lanes_c.size:
+            vcs = np.argmax(cont[lanes_c], axis=1)
+            pk = ip[lanes_c, vcs]
+            pushed = self._pushed_flat[lanes_c, vcs] + 1
+            tl = pushed == self.pk_size[pk]
+            dvc = lanes_c * self.PV + vcs
+            self._accept_cont(dvc, tl)
+            self._pushed_flat[lanes_c, vcs] = pushed
+            ip[lanes_c[tl], vcs[tl]] = -1
+            self._finj_flat[lanes_c] += 1
+        qf = self._q_flat
+        qlens = np.fromiter(map(len, qf), _I64, count=self.R)
+        start = ~has_cont & (qlens > 0)
+        if not start.any():
+            return
+        free = (own_loc < 0) & (occ_loc < self.cap) & (ip < 0)
+        can = free.any(axis=1) & start
+        lanes_s = np.flatnonzero(can)
+        if lanes_s.size:
+            vcs = np.argmax(free[lanes_s], axis=1)
+            objs = [qf[lane].popleft() for lane in lanes_s.tolist()]
+            idxs = self.register_many(objs)
+            for pkt in objs:
+                pkt.injected = cycle
+            tl = self.pk_size[idxs] == 1
+            dvc = lanes_s * self.PV + vcs
+            self._accept_new(dvc, idxs, tl, cycle)
+            multi = ~tl
+            ip[lanes_s[multi], vcs[multi]] = idxs[multi]
+            self._pushed_flat[lanes_s[multi], vcs[multi]] = 1
+            self._finj_flat[lanes_s] += 1
+
+    def _inject_kind(self, k: int, cycle: int, allowed):
+        """One flit per compute node on network kind ``k`` (bw == 1,
+        shared physical network: the kinds contend for one budget).
+
+        In-flight worms continue on the lowest eligible VC; nodes with no
+        eligible continuation start the queue head on the lowest free VC.
+        Returns the per-node pushed mask (shared-net budget accounting).
+        """
+        net_i = self.net_of_kind[k]
+        occ_loc = self._occ_loc[net_i]
+        own_loc = self._own_loc[net_i]
+        ip = self.infl_pkt[k]
+        cont = (
+            (ip >= 0)
+            & (occ_loc < self.cap)
+            & ((own_loc < 0) | (own_loc == ip))
+        )
+        if allowed is not None:
+            cont &= allowed[:, None]
+        has_cont = cont.any(axis=1)
+        base = (net_i * self.n) * self.PV + LOCAL_PORT * self.V
+        nodes_c = np.flatnonzero(has_cont)
+        if nodes_c.size:
+            vcs = np.argmax(cont[nodes_c], axis=1)
+            pk = ip[nodes_c, vcs]
+            pushed = self.infl_pushed[k][nodes_c, vcs] + 1
+            tl = pushed == self.pk_size[pk]
+            dvc = base + nodes_c * self.PV + vcs
+            self._accept_cont(dvc, tl)
+            self.infl_pushed[k][nodes_c, vcs] = pushed
+            if tl.any():
+                self.infl_pkt[k][nodes_c[tl], vcs[tl]] = -1
+            self.flits_injected_arr[k][nodes_c] += 1
+        qk = self.queues[k]
+        qlens = np.fromiter(map(len, qk), _I64, count=self.n)
+        start = (~has_cont) & (qlens > 0)
+        if allowed is not None:
+            start &= allowed
+        if not start.any():
+            return has_cont
+        free = (own_loc < 0) & (occ_loc < self.cap) & (ip < 0)
+        vlo, vhi = self.vlo_k[k], self.vhi_k[k]
+        if vlo > 0:
+            free[:, :vlo] = False
+        if vhi < self.V:
+            free[:, vhi:] = False
+        can = free.any(axis=1) & start
+        nodes_s = np.flatnonzero(can)
+        if nodes_s.size:
+            vcs = np.argmax(free[nodes_s], axis=1)
+            objs = [qk[node].popleft() for node in nodes_s.tolist()]
+            idxs = self.register_many(objs)
+            for pkt in objs:
+                pkt.injected = cycle
+            tl = self.pk_size[idxs] == 1
+            dvc = base + nodes_s * self.PV + vcs
+            self._accept_new(dvc, idxs, tl, cycle)
+            multi = ~tl
+            if multi.any():
+                self.infl_pkt[k][nodes_s[multi], vcs[multi]] = idxs[multi]
+                self.infl_pushed[k][nodes_s[multi], vcs[multi]] = 1
+            self.flits_injected_arr[k][nodes_s] += 1
+        return has_cont | can
+
+    def _inject_scalar(self, cycle: int) -> None:
+        """Reference-shaped per-node injection (any bandwidth)."""
+        bw = self.bandwidth
+        for node in range(self.n):
+            if node in self._mem_set:
+                continue
+            if self.separate:
+                for k in (0, 1):
+                    self._inject_node_kind(node, k, cycle, bw)
+            else:
+                order = (1, 0) if cycle & 1 else (0, 1)
+                budget = bw
+                for k in order:
+                    if budget <= 0:
+                        break
+                    budget -= self._inject_node_kind(node, k, cycle, budget)
+
+    def _inject_node_kind(self, node: int, k: int, cycle: int, budget: int) -> int:
+        net_i = self.net_of_kind[k]
+        base = (net_i * self.n + node) * self.PV + LOCAL_PORT * self.V
+        ip = self.infl_pkt[k][node]
+        pushed_now = 0
+        live = np.flatnonzero(ip >= 0)
+        for vc in live.tolist():
+            if budget <= 0:
+                break
+            f = base + vc
+            p = int(ip[vc])
+            if self.occ[f] >= self.cap:
+                continue
+            ow = int(self.owner[f])
+            if ow >= 0 and ow != p:
+                continue
+            npushed = int(self.infl_pushed[k][node, vc]) + 1
+            is_tail = npushed == int(self.pk_size[p])
+            self.accept_one(f, p, is_tail, cycle)
+            pushed_now += 1
+            budget -= 1
+            if is_tail:
+                self.infl_pkt[k][node, vc] = -1
+            else:
+                self.infl_pushed[k][node, vc] = npushed
+        dq = self.queues[k][node]
+        while budget > 0 and dq:
+            vc = -1
+            for c in range(self.vlo_k[k], self.vhi_k[k]):
+                if ip[c] >= 0:
+                    continue
+                f = base + c
+                if self.owner[f] < 0 and self.occ[f] < self.cap:
+                    vc = c
+                    break
+            if vc < 0:
+                break
+            pkt = dq.popleft()
+            p = self.register(pkt)
+            pkt.injected = cycle
+            is_tail = pkt.size_flits == 1
+            self.accept_one(base + vc, p, is_tail, cycle)
+            pushed_now += 1
+            budget -= 1
+            if not is_tail:
+                self.infl_pkt[k][node, vc] = p
+                self.infl_pushed[k][node, vc] = 1
+        if pushed_now:
+            self.flits_injected_arr[k][node] += pushed_now
+        return pushed_now
+
+    # ------------------------------------------------------------------
+    # one cycle
+    # ------------------------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        for _ in range(self.bandwidth):
+            movers = self._decide(cycle)
+            if movers is None:
+                break
+            self._commit(movers, cycle)
+        if self.bandwidth == 1:
+            if self.separate:
+                self._inject_fused(cycle)
+            else:
+                order = (1, 0) if cycle & 1 else (0, 1)
+                allowed = np.ones(self.n, dtype=bool)
+                for k in order:
+                    pushed = self._inject_kind(k, cycle, allowed)
+                    allowed &= ~pushed
+        else:
+            self._inject_scalar(cycle)
+
+    # ------------------------------------------------------------------
+    # statistics helpers for the facades
+    # ------------------------------------------------------------------
+
+    def net_flits_routed(self, net_i: int) -> int:
+        n = self.n
+        return int(self.flits_routed[net_i * n:(net_i + 1) * n].sum())
+
+    def net_buffered(self, net_i: int) -> int:
+        n = self.n
+        lo = net_i * n * self.PV
+        return int(self.occ[lo:lo + n * self.PV].sum())
+
+    def router_buffered(self, net_i: int, rid: int) -> int:
+        lo = (net_i * self.n + rid) * self.PV
+        return int(self.occ[lo:lo + self.PV].sum())
+
+    def sync_packet_objects(self) -> None:
+        """Write array-held packet state back to the Python objects."""
+        for i, pkt in enumerate(self.pk_obj):
+            if pkt is not None:
+                pkt.hops = int(self.pk_hops[i])

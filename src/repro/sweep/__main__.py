@@ -21,7 +21,7 @@ Examples::
     python -m repro.sweep clean
 
 The sweep selection flags (``--benchmarks``, ``--n-mixes``,
-``--mechanisms``, ``--cycles``, ``--warmup``) describe the same
+``--mechanisms``, ``--cycles``, ``--warmup``, ``--backend``) describe the same
 (GPU benchmark x CPU co-runner x mechanism) cross product Figures 10-14
 read; defaults regenerate the Fig. 10 sweep.  Window lengths default to
 ``REPRO_CYCLES``/``REPRO_WARMUP``.  The cache lives in ``--cache-dir``
@@ -39,14 +39,17 @@ import time
 from typing import List, Optional
 
 from repro.cli import (
+    add_backend_option,
     add_batch_option,
     add_deprecated_alias,
     add_format_option,
     add_jobs_option,
     add_seed_option,
     add_window_options,
+    backend_error_exit,
     emit,
 )
+from repro.sim.engines import BackendError
 from repro.sweep.cache import ResultCache, default_cache_dir
 from repro.sweep.jobs import JobSpec, mechanism_jobs
 from repro.sweep.runner import JobOutcome, SweepRunner
@@ -65,6 +68,7 @@ def _specs_from_args(args) -> List[JobSpec]:
         cycles=args.cycles,
         warmup=args.warmup,
         mechanisms=mechanisms,
+        backend=getattr(args, "backend", None),
     )
     if getattr(args, "seed", None) is not None:
         # a different seed is a different simulation (and cache key):
@@ -79,6 +83,7 @@ def _specs_from_args(args) -> List[JobSpec]:
                 kernel_flush_interval=s.kernel_flush_interval,
                 label=s.label,
                 faults=s.faults,
+                backend=s.backend,
             )
             for s in specs
         ]
@@ -354,6 +359,7 @@ def _add_sweep_options(p: argparse.ArgumentParser) -> None:
                    help="comma-separated subset of baseline,rp,dr")
     add_window_options(p)
     add_seed_option(p)
+    add_backend_option(p)
     p.add_argument("--cache-dir", default=None,
                    help="result cache directory "
                         "(default: $REPRO_SWEEP_CACHE or .repro_sweep_cache)")
@@ -412,7 +418,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "status": _cmd_status,
         "clean": _cmd_clean,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except BackendError as exc:
+        # an unusable --backend / $REPRO_BACKEND choice is a usage
+        # error, not a sweep failure: one line, exit 2
+        return backend_error_exit(exc)
 
 
 if __name__ == "__main__":

@@ -33,7 +33,10 @@ from repro.config.system import SystemConfig
 #: (repro.telemetry.blame).
 #: sweep-v4: specs can carry a fault plan (repro.faults) and results
 #: rename cpu_avg_latency -> cpu_latency_avg + gain fault_* fields.
-CODE_VERSION = "sweep-v4"
+#: sweep-v5: specs carry the simulation backend (repro.sim.engines) and
+#: the object kernel's NIC drains in-flight worms in deterministic
+#: packet-key order, shifting delivered-counter timings slightly.
+CODE_VERSION = "sweep-v5"
 
 
 def code_salt() -> str:
@@ -61,6 +64,11 @@ class JobSpec:
     #: None for a fault-free run.  Part of the cache key: a chaos run and
     #: a clean run of the same config are different results.
     faults: Optional[str] = None
+    #: simulation engine (see :mod:`repro.sim.engines`).  Part of the
+    #: cache key: backends are pinned bit-identical against the object
+    #: kernel's synchronous oracle, but the default object scheduler is
+    #: asynchronous, so per-backend results may legitimately differ.
+    backend: str = "object"
 
     @classmethod
     def make(
@@ -73,7 +81,10 @@ class JobSpec:
         kernel_flush_interval: int = 0,
         label: Sequence[str] = (),
         faults: Any = None,
+        backend: Optional[str] = None,
     ) -> "JobSpec":
+        from repro.sim.engines import resolve_backend
+
         if isinstance(config, SystemConfig):
             config = config.to_dict()
         if faults is not None and not isinstance(faults, str):
@@ -90,6 +101,7 @@ class JobSpec:
             kernel_flush_interval=int(kernel_flush_interval),
             label=tuple(label),
             faults=faults,
+            backend=resolve_backend(backend),
         )
 
     # -- identity ---------------------------------------------------------
@@ -114,6 +126,7 @@ class JobSpec:
                 "warmup": self.warmup,
                 "kernel_flush_interval": self.kernel_flush_interval,
                 "faults": self.faults,
+                "backend": self.backend,
             }
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
@@ -170,6 +183,7 @@ def mechanism_jobs(
     cycles: Optional[int] = None,
     warmup: Optional[int] = None,
     mechanisms: Optional[Sequence[str]] = None,
+    backend: Optional[str] = None,
 ) -> List[JobSpec]:
     """Enumerate the paper's mechanism sweep (Figs. 10-14, energy study).
 
@@ -204,6 +218,7 @@ def mechanism_jobs(
                         cycles=cycles,
                         warmup=warmup,
                         label=(gpu, cpu, mech),
+                        backend=backend,
                     )
                 )
     return specs

@@ -189,6 +189,7 @@ def simulate_job(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
         warmup=spec.warmup,
         kernel_flush_interval=spec.kernel_flush_interval,
         faults=spec.fault_plan(),
+        backend=spec.backend,
     )
     return {
         "result": result.to_dict(),
@@ -238,6 +239,7 @@ class JobOutcome:
             "cpu": self.spec.cpu,
             "cycles": self.spec.cycles,
             "warmup": self.spec.warmup,
+            "backend": self.spec.backend,
             "status": self.status,
             "wall_time_s": round(self.wall_time_s, 4),
             "attempts": self.attempts,

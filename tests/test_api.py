@@ -17,12 +17,16 @@ from repro.sim.metrics import SimulationResult
 #: campaign callers get the batch knob without importing repro.sweep.
 #: explore/SearchSpace/ParetoFrontier added with the design-space
 #: exploration subsystem (repro.explore).
+#: available_backends/BackendError added with the backend-selection
+#: layer (repro.sim.engines) behind simulate(backend=...).
 EXPECTED_API = [
+    "BackendError",
     "FaultPlan",
     "JobSpec",
     "ParetoFrontier",
     "SearchSpace",
     "SimulationResult",
+    "available_backends",
     "build_system",
     "chaos_plan",
     "explore",
@@ -89,6 +93,40 @@ class TestApiSurface:
         res = api.simulate(small_config(), "BP", cpu="canneal",
                            cycles=400, warmup=150, faults=plan)
         assert res.counters.get("fault.drops", 0) > 0
+
+
+class TestBackendSelection:
+    def test_available_backends(self):
+        assert api.available_backends() == ("object", "vector")
+
+    def test_simulate_on_vector_backend(self):
+        res = api.simulate(small_config(), "BP", cpu="canneal",
+                           cycles=300, warmup=150, backend="vector")
+        assert res.gpu_ipc > 0
+        assert res.cpu_latency_avg > 0
+
+    def test_unknown_backend_one_line_error(self):
+        with pytest.raises(api.BackendError) as exc:
+            api.simulate(small_config(), "BP", cycles=10, backend="turbo")
+        msg = str(exc.value)
+        assert "turbo" in msg and "object" in msg and "vector" in msg
+        assert "\n" not in msg
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "vector")
+        system = api.build_system(small_config(), "BP")
+        assert system.backend == "vector"
+        assert type(system.fabric).__name__ == "VectorFabric"
+        monkeypatch.delenv("REPRO_BACKEND")
+        assert api.build_system(small_config(), "BP").backend == "object"
+
+    def test_vector_rejects_telemetry_config(self):
+        cfg = small_config()
+        cfg.telemetry.enabled = True
+        with pytest.raises(api.BackendError) as exc:
+            api.simulate(cfg, "BP", cycles=10, backend="vector")
+        assert "telemetry" in str(exc.value)
+        assert "\n" not in str(exc.value)
 
 
 class TestResultSchema:

@@ -1,0 +1,335 @@
+"""Bit-identity matrix: ``backend="vector"`` vs the object-kernel oracle.
+
+The vector backend implements the synchronous two-phase semantics of
+``NocFabric.set_sync_stepping(True)`` (DESIGN.md §12).  Every test here
+drives the *identical* pre-generated packet schedule through both
+fabrics and asserts every observable counter — delivered packets/flits
+per network, per-type delivery counts, per-router routed/buffered flits,
+per-link flit counts, per-NIC injection/ejection counters, delegation
+counters and the full latency multiset — is bit-identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import _Lcg
+from repro.config.system import DelegationConfig, NocConfig
+from repro.core.delegated_replies import DelegatedRepliesMechanism, ReplyMeta
+from repro.noc import MeshTopology, MessageType, NocFabric, Packet, TrafficClass
+from repro.noc.packet import NetKind
+from repro.sim.engines import BackendError, build_fabric
+from repro.sim.vector.fabric import VectorFabric
+
+# ---------------------------------------------------------------------------
+# schedule generation (state-independent: both backends replay it verbatim)
+# ---------------------------------------------------------------------------
+
+
+def _uniform_schedule(n: int, cycles: int, permille: int, seed: int):
+    """Per-cycle packet specs, bench-harness style uniform traffic."""
+    rng = _Lcg(seed)
+    base, frac = divmod(n * permille, 1000)
+    sched = []
+    for _ in range(cycles):
+        k = base + (1 if rng.below(1000) < frac else 0)
+        cyc = []
+        for _ in range(k):
+            node = rng.below(n)
+            dst = rng.below(n - 1)
+            if dst >= node:
+                dst += 1
+            if rng.next() & 1:
+                cyc.append((node, dst, MessageType.READ_REQ,
+                            TrafficClass.GPU, 1, None))
+            else:
+                cyc.append((node, dst, MessageType.READ_REPLY,
+                            TrafficClass.GPU, 9, None))
+        sched.append(cyc)
+    return sched
+
+
+def _hotspot_schedule(n, mem_nodes, cycles: int, permille: int, seed: int):
+    """Hotspot requests onto memory nodes + delegatable replies back."""
+    rng = _Lcg(seed)
+    mem_set = set(mem_nodes)
+    compute = [node for node in range(n) if node not in mem_set]
+    req_base, req_frac = divmod(len(compute) * permille, 1000)
+    rep_base, rep_frac = divmod(len(mem_nodes) * permille * 2, 1000)
+    sched = []
+    for _ in range(cycles):
+        cyc = []
+        k = req_base + (1 if rng.below(1000) < req_frac else 0)
+        for _ in range(k):
+            node = compute[rng.below(len(compute))]
+            dst = mem_nodes[rng.below(len(mem_nodes))]
+            cyc.append((node, dst, MessageType.READ_REQ,
+                        TrafficClass.GPU, 1, None))
+        k = rep_base + (1 if rng.below(1000) < rep_frac else 0)
+        for _ in range(k):
+            m = mem_nodes[rng.below(len(mem_nodes))]
+            dst = compute[rng.below(len(compute))]
+            sharer = compute[rng.below(len(compute))]
+            meta = (True, sharer if sharer != dst else None)
+            cyc.append((m, dst, MessageType.READ_REPLY,
+                        TrafficClass.GPU, 9, meta))
+        sched.append(cyc)
+    return sched
+
+
+# ---------------------------------------------------------------------------
+# drivers + counter collection
+# ---------------------------------------------------------------------------
+
+
+def _drive(fabric, sched, latencies):
+    """Replay a schedule; record delivery latencies via the NIC handlers."""
+
+    def on_deliver(pkt, cycle):
+        latencies.append((cycle - pkt.created, pkt.size_flits, int(pkt.mtype)))
+
+    for nic in fabric.nics:
+        nic.handler = on_deliver
+    for cycle, cyc in enumerate(sched):
+        for node, dst, mtype, cls, size, meta in cyc:
+            txn = None
+            if meta is not None:
+                txn = ReplyMeta(llc_hit=meta[0], delegate_to=meta[1])
+            fabric.nic(node).try_send(
+                Packet(node, dst, mtype, cls, size, txn=txn), cycle
+            )
+        fabric.step(cycle)
+    return len(sched)
+
+
+def _collect(fabric) -> dict:
+    """Every observable counter, via backend-neutral explicit reads."""
+    out: dict = {}
+    nets = {id(net): net for net in (fabric.request_net, fabric.reply_net)}
+    for i, net in enumerate(nets.values()):
+        out[f"net{i}.cycles"] = net.cycles
+        out[f"net{i}.packets_delivered"] = net.packets_delivered
+        out[f"net{i}.flits_delivered"] = net.flits_delivered
+        out[f"net{i}.delivered_by_type"] = dict(net.delivered_by_type)
+        out[f"net{i}.total_routed"] = net.total_flits_routed()
+        out[f"net{i}.flits_routed"] = [r.flits_routed for r in net.routers]
+        out[f"net{i}.buffered"] = [r.buffered_flits() for r in net.routers]
+        out[f"net{i}.link_flits"] = [list(row) for row in net.link_flits]
+    for nic in fabric.nics:
+        nid = nic.node_id
+        out[f"nic{nid}.flits_injected"] = nic.flits_injected
+        for kind in (NetKind.REQUEST, NetKind.REPLY):
+            out[f"nic{nid}.injected_{int(kind)}"] = nic.flits_injected_net[kind]
+            out[f"nic{nid}.sent_{int(kind)}"] = nic.packets_sent_net[kind]
+        for cls in (TrafficClass.CPU, TrafficClass.GPU):
+            out[f"nic{nid}.received_{int(cls)}"] = nic.flits_received[cls]
+        out[f"nic{nid}.data_flits"] = nic.data_flits_received
+        if hasattr(nic, "delegations"):
+            out[f"nic{nid}.delegations"] = nic.delegations
+            out[f"nic{nid}.blocked"] = nic.blocked_cycles
+            out[f"nic{nid}.observed"] = nic.observed_cycles
+    out["in_flight"] = fabric.in_flight_flits()
+    return out
+
+
+def _run_backend(backend, dims, cfg, sched, mem_nodes=(), delegation=False):
+    topo = MeshTopology(*dims)
+    if backend == "object":
+        fabric = NocFabric(topo, cfg, mem_nodes=tuple(mem_nodes))
+        fabric.set_sync_stepping(True)
+    else:
+        fabric = VectorFabric(topo, cfg, mem_nodes=tuple(mem_nodes))
+    if delegation:
+        mech = DelegatedRepliesMechanism(DelegationConfig(enabled=True))
+        for m in mem_nodes:
+            mech.attach(fabric.nic(m))
+    latencies: list = []
+    _drive(fabric, sched, latencies)
+    counters = _collect(fabric)
+    counters["latency_multiset"] = sorted(latencies)
+    return counters
+
+
+def _assert_identical(ref: dict, got: dict) -> None:
+    diffs = {k: (ref[k], got.get(k)) for k in ref if got.get(k) != ref[k]}
+    assert not diffs, f"vector backend drifted from the oracle: {diffs}"
+
+
+# ---------------------------------------------------------------------------
+# the bit-identity matrix
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("dims", [(4, 4), (8, 8)])
+@pytest.mark.parametrize("permille,cycles", [(5, 900), (250, 500)])
+def test_uniform_bit_identical(dims, permille, cycles):
+    """mesh4x4/mesh8x8 x light-load/saturated uniform traffic."""
+    n = dims[0] * dims[1]
+    sched = _uniform_schedule(n, cycles, permille, seed=dims[0] * permille)
+    cfg = NocConfig()
+    ref = _run_backend("object", dims, cfg, sched)
+    got = _run_backend("vector", dims, cfg, sched)
+    _assert_identical(ref, got)
+
+
+@pytest.mark.parametrize("dims,mem_nodes", [
+    ((4, 4), (3, 7, 11, 15)),
+    ((8, 8), (7, 15, 23, 31, 39, 47, 55, 63)),
+])
+@pytest.mark.parametrize("permille", [40, 200])
+def test_delegation_bit_identical(dims, mem_nodes, permille):
+    """Hotspot + Delegated Replies: the memory-node NIC path (bridged
+    through _RouterView on the vector backend) stays bit-identical,
+    including delegation/blocked/observed counters."""
+    n = dims[0] * dims[1]
+    sched = _hotspot_schedule(n, mem_nodes, 600, permille, seed=permille)
+    cfg = NocConfig()
+    ref = _run_backend("object", dims, cfg, sched,
+                       mem_nodes=mem_nodes, delegation=True)
+    got = _run_backend("vector", dims, cfg, sched,
+                       mem_nodes=mem_nodes, delegation=True)
+    _assert_identical(ref, got)
+
+
+def test_shared_network_bit_identical():
+    """Single shared physical network with split VC ranges."""
+    cfg = NocConfig(separate_physical_networks=False)
+    sched = _uniform_schedule(64, 700, 60, seed=3)
+    ref = _run_backend("object", (8, 8), cfg, sched)
+    got = _run_backend("vector", (8, 8), cfg, sched)
+    _assert_identical(ref, got)
+
+
+def test_randomized_configs_bit_identical():
+    """Property-style case: random NoC shape parameters, both backends."""
+    rng = _Lcg(99)
+    for trial in range(4):
+        cfg = NocConfig(
+            vcs_per_port=1 + rng.below(3),
+            vc_depth_flits=2 + rng.below(6),
+            router_pipeline_cycles=1 + rng.below(4),
+            link_cycles=1 + rng.below(2),
+            node_injection_queue_packets=2 + rng.below(14),
+            separate_physical_networks=bool(rng.next() & 1),
+            request_vcs=1 + rng.below(2),
+            reply_vcs=1 + rng.below(2),
+        )
+        dims = (3 + rng.below(3), 3 + rng.below(3))
+        permille = 20 + rng.below(300)
+        sched = _uniform_schedule(
+            dims[0] * dims[1], 400, permille, seed=trial
+        )
+        ref = _run_backend("object", dims, cfg, sched)
+        got = _run_backend("vector", dims, cfg, sched)
+        _assert_identical(ref, got)
+
+
+# ---------------------------------------------------------------------------
+# conservation + error surfaces
+# ---------------------------------------------------------------------------
+
+
+def test_vector_packet_conservation():
+    """After draining, every injected flit was delivered (vector backend)."""
+    mem_nodes = (3, 7, 11, 15)
+    sched = _hotspot_schedule(16, mem_nodes, 800, 200, seed=11)
+    fabric = VectorFabric(MeshTopology(4, 4), NocConfig(),
+                          mem_nodes=mem_nodes)
+    mech = DelegatedRepliesMechanism(DelegationConfig(enabled=True))
+    for m in mem_nodes:
+        mech.attach(fabric.nic(m))
+    latencies: list = []
+    cycles = _drive(fabric, sched, latencies)
+    assert sum(fabric.nic(m).delegations for m in mem_nodes) > 50
+    # drain: no new injections, step until empty
+    for cycle in range(cycles, cycles + 6000):
+        fabric.step(cycle)
+        if fabric.in_flight_flits() == 0 and all(
+            not fabric.kernel.queues[k][node]
+            for k in (0, 1) for node in range(16)
+        ) and (fabric.kernel.infl_pkt < 0).all() and all(
+            not fabric.nic(m).queues[kind]
+            and not fabric.nic(m)._inflight[kind]
+            for m in mem_nodes
+            for kind in (NetKind.REQUEST, NetKind.REPLY)
+        ):
+            break
+    else:
+        raise AssertionError("vector fabric failed to drain")
+    nets = {id(net): net for net in (fabric.request_net, fabric.reply_net)}
+    delivered_pkts = sum(n.packets_delivered for n in nets.values())
+    delivered_flits = sum(n.flits_delivered for n in nets.values())
+    sent_pkts = sum(
+        nic.packets_sent_net[NetKind.REQUEST]
+        + nic.packets_sent_net[NetKind.REPLY]
+        for nic in fabric.nics
+    )
+    injected_flits = sum(nic.flits_injected for nic in fabric.nics)
+    assert delivered_pkts == sent_pkts
+    assert delivered_flits == injected_flits
+    # the packet table fully recycled: nothing leaked
+    assert all(obj is None for obj in fabric.kernel.pk_obj)
+    assert not fabric.kernel._mem_idx
+
+
+def test_vector_rejects_adaptive_routing():
+    from repro.config.system import RoutingPolicy
+
+    cfg = NocConfig(routing=RoutingPolicy.FOOTPRINT)
+    with pytest.raises(BackendError) as exc:
+        build_fabric("vector", MeshTopology(4, 4), cfg)
+    msg = str(exc.value)
+    assert "adaptive" in msg and "\n" not in msg
+
+
+def test_vector_rejects_telemetry_attach():
+    fabric = build_fabric("vector", MeshTopology(4, 4), NocConfig())
+    with pytest.raises(BackendError) as exc:
+        fabric.attach_telemetry(object())
+    assert "telemetry" in str(exc.value)
+
+
+# ----------------------------------------------------------------------
+# full-system bit-identity: HeterogeneousSystem on the vector backend vs
+# the object kernel in synchronous (oracle) stepping
+# ----------------------------------------------------------------------
+
+
+def _system_result(cfg, backend, *, faults=None, cycles=400, warmup=150):
+    from repro.sim.simulator import build_system, run_simulation
+
+    if backend == "object":
+        system = build_system(cfg, "BP", "canneal", faults=faults)
+        system.fabric.set_sync_stepping(True)
+    else:
+        system = build_system(
+            cfg, "BP", "canneal", faults=faults, backend="vector"
+        )
+    return run_simulation(
+        cfg, "BP", "canneal", cycles=cycles, warmup=warmup, system=system
+    )
+
+
+@pytest.mark.parametrize("mk_cfg", ["small_config", "small_dr_config"])
+def test_system_bit_identical(mk_cfg):
+    import conftest
+
+    cfg_fn = getattr(conftest, mk_cfg)
+    obj = _system_result(cfg_fn(), "object")
+    vec = _system_result(cfg_fn(), "vector")
+    assert vec.counters == obj.counters
+    assert vec.to_dict() == obj.to_dict()
+
+
+def test_system_bit_identical_loss_plan():
+    import conftest
+    from repro.faults.plan import chaos_plan
+
+    cfg = conftest.small_dr_config()
+    plan = chaos_plan(cfg, 0.08, seed=3, warmup=150, cycles=400,
+                      link_down=False)
+    obj = _system_result(cfg, "object", faults=plan)
+    vec = _system_result(cfg, "vector", faults=plan)
+    assert obj.counters.get("fault.drops", 0) > 0
+    assert vec.counters == obj.counters
+    assert vec.to_dict() == obj.to_dict()
